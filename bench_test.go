@@ -1,0 +1,121 @@
+package xchainpay
+
+// Benchmark harness: one testing.B benchmark per experiment of DESIGN.md /
+// EXPERIMENTS.md. Each benchmark regenerates its experiment's table through
+// internal/bench at a configuration scaled down to the benchmark's
+// iteration budget; `go test -bench=. -benchmem` therefore re-derives every
+// table and figure artefact of the paper. cmd/xchain-bench prints the same
+// tables at the full configuration for EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// benchConfig is the per-iteration experiment size used inside benchmarks:
+// small enough that one iteration is fast, large enough to exercise every
+// code path of the experiment.
+func benchConfig() bench.Config { return bench.Config{Runs: 2, MaxChain: 4} }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := exp.Run(benchConfig())
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkE1_TimeBoundedHappyPath regenerates the Figure-1/2 artefact: the
+// happy-path run of the time-bounded protocol on growing chains, on both
+// engines.
+func BenchmarkE1_TimeBoundedHappyPath(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkE2_Theorem1Properties regenerates the Theorem-1 property sweep
+// under synchrony with Byzantine single-fault assignments.
+func BenchmarkE2_Theorem1Properties(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkE3_TerminationBound regenerates the termination-time-vs-bound
+// table of Theorem 1.
+func BenchmarkE3_TerminationBound(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkE4_ImpossibilitySearch regenerates the Theorem-2 adversarial
+// search under partial synchrony.
+func BenchmarkE4_ImpossibilitySearch(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkE5_WeakLivenessProperties regenerates the Theorem-3 property
+// sweep under partial synchrony.
+func BenchmarkE5_WeakLivenessProperties(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkE6_DealsVsPayments regenerates the Section-5 comparison with
+// cross-chain deals.
+func BenchmarkE6_DealsVsPayments(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkE7_BaselineComparison regenerates the HTLC-vs-Figure-2 baseline
+// comparison.
+func BenchmarkE7_BaselineComparison(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkE8_CostScaling regenerates the protocol cost-scaling table.
+func BenchmarkE8_CostScaling(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkA1_DriftAblation regenerates the clock-drift fine-tuning ablation.
+func BenchmarkA1_DriftAblation(b *testing.B) { runExperiment(b, "A1") }
+
+// BenchmarkA2_NotaryCommittee regenerates the committee-size ablation.
+func BenchmarkA2_NotaryCommittee(b *testing.B) { runExperiment(b, "A2") }
+
+// BenchmarkA3_PatienceSensitivity regenerates the patience-sensitivity
+// ablation.
+func BenchmarkA3_PatienceSensitivity(b *testing.B) { runExperiment(b, "A3") }
+
+// Micro-benchmarks for the protocols themselves, reported alongside the
+// experiment benchmarks so the cost of a single end-to-end payment is
+// visible per protocol and chain length.
+
+func benchProtocol(b *testing.B, p core.Protocol, n int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := core.NewScenario(n, int64(i)).Muted()
+		for _, id := range s.Topology.Customers() {
+			s = s.SetPatience(id, 60*sim.Second)
+		}
+		res, err := p.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.BobPaid {
+			b.Fatalf("%s: Bob not paid", p.Name())
+		}
+	}
+}
+
+// BenchmarkProtocolTimeBounded_n4 measures one end-to-end time-bounded
+// payment across four escrows.
+func BenchmarkProtocolTimeBounded_n4(b *testing.B) { benchProtocol(b, TimeBounded(), 4) }
+
+// BenchmarkProtocolTimeBoundedANTA_n4 measures the same payment on the
+// ANTA (Figure-2 automata) engine.
+func BenchmarkProtocolTimeBoundedANTA_n4(b *testing.B) { benchProtocol(b, TimeBoundedANTA(), 4) }
+
+// BenchmarkProtocolWeakLivenessTrusted_n4 measures one weak-liveness payment
+// with the trusted manager.
+func BenchmarkProtocolWeakLivenessTrusted_n4(b *testing.B) { benchProtocol(b, WeakLiveness(), 4) }
+
+// BenchmarkProtocolWeakLivenessCommittee_n4 measures one weak-liveness
+// payment with a 4-notary committee.
+func BenchmarkProtocolWeakLivenessCommittee_n4(b *testing.B) {
+	benchProtocol(b, WeakLivenessCommittee(4), 4)
+}
+
+// BenchmarkProtocolHTLC_n4 measures one hashed-timelock payment.
+func BenchmarkProtocolHTLC_n4(b *testing.B) { benchProtocol(b, HTLCBaseline(), 4) }

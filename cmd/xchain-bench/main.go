@@ -1,0 +1,67 @@
+// Command xchain-bench runs the experiment suite (E1..E8, A1..A3) and prints
+// the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	xchain-bench              # run every experiment at the full configuration
+//	xchain-bench -quick       # smaller sweep (seconds instead of minutes)
+//	xchain-bench -run E4,E7   # run a subset by ID
+//	xchain-bench -runs 10 -maxchain 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use the quick (test-sized) configuration")
+		runs     = flag.Int("runs", 0, "override the number of seeds per experiment cell")
+		maxChain = flag.Int("maxchain", 0, "override the largest chain length swept")
+		workers  = flag.Int("workers", 0, "override the worker-pool size (default GOMAXPROCS)")
+		only     = flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+	)
+	flag.Parse()
+
+	cfg := bench.Full()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *maxChain > 0 {
+		cfg.MaxChain = *maxChain
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	experiments := bench.All()
+	if *only != "" {
+		var selected []bench.Experiment
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "xchain-bench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+		experiments = selected
+	}
+
+	fmt.Printf("configuration: runs=%d maxchain=%d\n\n", cfg.Runs, cfg.MaxChain)
+	for _, e := range experiments {
+		start := time.Now()
+		tab := e.Run(cfg)
+		fmt.Print(tab.String())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,94 @@
+// Command xchain-check runs the safety audits and the Theorem-2
+// impossibility exploration: it sweeps Byzantine fault assignments against
+// the time-bounded protocol under synchrony (expecting no violations), and
+// searches adversarial partial-synchrony schedules against the
+// timeout-protocol family (expecting every candidate to break somewhere).
+//
+// The command exits non-zero if either half fails to reproduce the paper's
+// claim, which makes it usable as a CI gate for the reproduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/timelock"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 3, "chain length for the safety audit")
+		seeds = flag.Int("seeds", 5, "seeds per fault assignment")
+	)
+	flag.Parse()
+	failed := false
+
+	fmt.Printf("=== safety audit: Definition 1 under synchrony, every single- and pair-fault assignment (n=%d) ===\n", *n)
+	p := timelock.New()
+	summary := check.NewSummary()
+	assignments := adversary.SingleFaultAssignments(core.NewTopology(*n))
+	assignments = append(assignments, adversary.PairFaultAssignments(core.NewTopology(*n))...)
+	for _, a := range assignments {
+		for seed := int64(1); seed <= int64(*seeds); seed++ {
+			s := a.Apply(core.NewScenario(*n, seed)).Muted()
+			res, err := p.Run(s)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "run error (%s): %v\n", a.Describe(), err)
+				failed = true
+				continue
+			}
+			summary.Add(check.Evaluate(res, check.Def1TimeBounded(p.ParamsFor(s).Bound)))
+		}
+	}
+	fmt.Print(summary.String())
+	if summary.Clean() {
+		fmt.Printf("clean: no property violated across %d runs\n\n", summary.Total)
+	} else {
+		fmt.Printf("VIOLATIONS: %v (examples: %v)\n\n", summary.ViolatedProperties(), summary.FailureExamples)
+		failed = true
+	}
+
+	fmt.Println("=== impossibility exploration: Theorem 2 under partial synchrony ===")
+	opts := explore.DefaultOptions()
+	opts.N = *n
+	findings := explore.SearchImpossibility(opts)
+	for _, f := range findings {
+		props := make([]string, 0, len(f.Violated))
+		for _, pr := range f.Violated {
+			props = append(props, string(pr))
+		}
+		label := strings.Join(props, ",")
+		if label == "" {
+			label = "(survived)"
+		}
+		fmt.Printf("%-20s vs %-20s -> %s\n", f.Candidate, f.Attack, label)
+	}
+	if err := explore.VerifyTheorem2(findings); err != nil {
+		fmt.Printf("THEOREM 2 NOT REPRODUCED: %v\n", err)
+		failed = true
+	} else {
+		fmt.Println("reproduced: every candidate protocol fails Definition 1 under some partial-synchrony attack")
+	}
+	control, err := explore.ControlUnderSynchrony(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "control error: %v\n", err)
+		failed = true
+	} else {
+		for cand, ok := range control {
+			if !ok {
+				fmt.Printf("control FAILED: %s violates Definition 1 even under synchrony\n", cand)
+				failed = true
+			}
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command xchain runs a single cross-chain payment scenario and prints its
+// trace, the per-customer outcomes, and the property verdicts.
+//
+// Usage:
+//
+//	xchain [flags]
+//
+//	-n 3              number of escrows (chain length)
+//	-seed 1           RNG seed (runs are deterministic in it)
+//	-protocol timelock  one of: timelock, timelock-anta, timelock-naive,
+//	                    weaklive, weaklive-committee, htlc
+//	-committee 4      committee size for weaklive-committee
+//	-network sync     one of: sync, partial
+//	-gst 500ms        global stabilisation time for -network partial
+//	-patience 30s     per-customer patience (weak-liveness protocols)
+//	-fault c1=silent  comma-separated participant=behaviour pairs
+//	-trace            print the full event trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	xchainpay "repro"
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 3, "number of escrows in the chain")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		protoName = flag.String("protocol", "timelock", "protocol: timelock, timelock-anta, timelock-naive, weaklive, weaklive-committee, htlc")
+		committee = flag.Int("committee", 4, "committee size for weaklive-committee")
+		network   = flag.String("network", "sync", "network model: sync or partial")
+		gst       = flag.Duration("gst", 500*time.Millisecond, "global stabilisation time for -network partial")
+		patience  = flag.Duration("patience", 30*time.Second, "customer patience (weak-liveness protocols)")
+		faults    = flag.String("fault", "", "comma-separated participant=behaviour pairs, e.g. c1=silent,e0=theft")
+		showTrace = flag.Bool("trace", false, "print the full event trace")
+	)
+	flag.Parse()
+
+	s := xchainpay.NewScenario(*n, *seed)
+	timing := s.Timing
+	switch *network {
+	case "sync":
+		// Default network already synchronous.
+	case "partial":
+		s = s.WithNetwork(xchainpay.PartiallySynchronous(durToSim(*gst), timing.MaxMsgDelay, 4*durToSim(*gst)))
+	default:
+		fatalf("unknown network model %q", *network)
+	}
+	for _, id := range s.Topology.Customers() {
+		s = s.SetPatience(id, durToSim(*patience))
+	}
+	if *faults != "" {
+		for _, pair := range strings.Split(*faults, ",") {
+			parts := strings.SplitN(pair, "=", 2)
+			if len(parts) != 2 {
+				fatalf("malformed -fault entry %q (want participant=behaviour)", pair)
+			}
+			s = s.SetFault(parts[0], adversary.Spec(adversary.Behaviour(parts[1]), timing))
+		}
+	}
+
+	var (
+		protocol xchainpay.Protocol
+		opts     check.Options
+	)
+	switch *protoName {
+	case "timelock":
+		p := xchainpay.TimeBounded()
+		protocol, opts = p, check.Def1TimeBounded(p.ParamsFor(s).Bound)
+	case "timelock-anta":
+		p := xchainpay.TimeBoundedANTA()
+		protocol, opts = p, check.Def1TimeBounded(p.ParamsFor(s).Bound)
+	case "timelock-naive":
+		p := xchainpay.TimeBoundedNaive()
+		protocol, opts = p, check.Def1TimeBounded(p.ParamsFor(s).Bound)
+	case "weaklive":
+		protocol, opts = xchainpay.WeakLiveness(), check.Def2(durToSim(*patience))
+	case "weaklive-committee":
+		protocol, opts = xchainpay.WeakLivenessCommittee(*committee), check.Def2(durToSim(*patience))
+	case "htlc":
+		protocol, opts = xchainpay.HTLCBaseline(), check.Def1Eventual()
+	default:
+		fatalf("unknown protocol %q", *protoName)
+	}
+
+	res, err := protocol.Run(s)
+	if err != nil {
+		fatalf("run failed: %v", err)
+	}
+
+	if *showTrace {
+		fmt.Println("=== trace ===")
+		fmt.Print(res.Trace.String())
+	}
+	fmt.Printf("=== %s: payment %s over %d escrows (seed %d) ===\n",
+		protocol.Name(), s.Spec.PaymentID, s.Topology.N, s.Seed)
+	fmt.Printf("Bob paid: %v   all terminated: %v   duration: %v   messages: %d\n",
+		res.BobPaid, res.AllTerminated, res.Duration, res.NetStats.Sent)
+	fmt.Println("--- customers ---")
+	for _, id := range s.Topology.Customers() {
+		out := res.Outcome(id)
+		fmt.Printf("%-4s %-10s net=%+6d terminated=%-5v chi=%-5v commit=%-5v abort=%-5v\n",
+			id, out.Role, out.NetWealthChange(), out.Terminated, out.HoldsChi, out.HoldsCommitCert, out.HoldsAbortCert)
+	}
+	fmt.Println("--- properties ---")
+	report := check.Evaluate(res, opts)
+	fmt.Print(report)
+	if !report.AllOK() {
+		os.Exit(1)
+	}
+}
+
+func durToSim(d time.Duration) sim.Time { return sim.Time(d / time.Microsecond) }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xchain: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,190 @@
+// Package adversary is the Byzantine behaviour library used by the
+// experiments: named misbehaviour presets for customers, escrows and the
+// transaction manager, plus helpers to enumerate fault assignments for the
+// property sweeps of experiments E2 and E5.
+//
+// The paper assumes the classic Byzantine model with authentication:
+// faulty participants may deviate arbitrarily from the protocol but cannot
+// forge the signatures of correct participants. Each preset here is one
+// concrete deviation strategy; a sweep over presets and positions
+// approximates "arbitrary deviation" well enough to exercise every safety
+// clause of Definitions 1 and 2.
+package adversary
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Behaviour names a deviation strategy.
+type Behaviour string
+
+// Named behaviours. Honest is the zero behaviour.
+const (
+	Honest         Behaviour = "honest"
+	Crash          Behaviour = "crash"           // stop at a configured time
+	CrashAtStart   Behaviour = "crash-at-start"  // never do anything
+	Silent         Behaviour = "silent"          // receive but never send
+	Withhold       Behaviour = "withhold"        // keep certificates/receipts to oneself
+	RefusePayment  Behaviour = "refuse-payment"  // never send money
+	SlowActions    Behaviour = "slow"            // delay every action
+	Forge          Behaviour = "forge"           // attempt certificate forgery
+	Equivocation   Behaviour = "equivocate"      // send conflicting messages
+	Theft          Behaviour = "theft"           // escrow keeps escrowed funds
+	ImpatientAbort Behaviour = "impatient-abort" // abort as soon as allowed
+)
+
+// AllBehaviours lists every named behaviour including Honest.
+func AllBehaviours() []Behaviour {
+	return []Behaviour{
+		Honest, Crash, CrashAtStart, Silent, Withhold, RefusePayment,
+		SlowActions, Forge, Equivocation, Theft, ImpatientAbort,
+	}
+}
+
+// CustomerBehaviours lists the behaviours meaningful for customers.
+func CustomerBehaviours() []Behaviour {
+	return []Behaviour{Crash, CrashAtStart, Silent, Withhold, RefusePayment, SlowActions, Forge, ImpatientAbort}
+}
+
+// EscrowBehaviours lists the behaviours meaningful for escrows.
+func EscrowBehaviours() []Behaviour {
+	return []Behaviour{Crash, CrashAtStart, Silent, Withhold, SlowActions, Theft, Equivocation}
+}
+
+// Spec materialises a behaviour into a core.FaultSpec. The crash time and
+// action delay are scaled from the scenario's message-delay bound so the
+// deviation lands in the middle of the protocol rather than trivially before
+// or after it.
+func Spec(b Behaviour, timing core.Timing) core.FaultSpec {
+	delta := timing.MaxMsgDelay
+	switch b {
+	case Honest:
+		return core.FaultSpec{}
+	case Crash:
+		return core.FaultSpec{Crash: true, CrashAt: 3 * delta}
+	case CrashAtStart:
+		return core.FaultSpec{Crash: true, CrashAt: 0}
+	case Silent:
+		return core.FaultSpec{Silent: true}
+	case Withhold:
+		return core.FaultSpec{WithholdCertificate: true}
+	case RefusePayment:
+		return core.FaultSpec{RefuseToPay: true}
+	case SlowActions:
+		return core.FaultSpec{DelayActions: 10 * delta}
+	case Forge:
+		return core.FaultSpec{ForgeCertificate: true}
+	case Equivocation:
+		return core.FaultSpec{Equivocate: true}
+	case Theft:
+		return core.FaultSpec{StealEscrow: true}
+	case ImpatientAbort:
+		return core.FaultSpec{PrematureAbort: true}
+	}
+	return core.FaultSpec{}
+}
+
+// Assignment maps participant IDs to behaviours; it is one corruption
+// pattern of a scenario.
+type Assignment map[string]Behaviour
+
+// Apply returns a copy of the scenario with the assignment's faults
+// installed.
+func (a Assignment) Apply(s core.Scenario) core.Scenario {
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if a[id] == Honest {
+			continue
+		}
+		s = s.SetFault(id, Spec(a[id], s.Timing))
+	}
+	return s
+}
+
+// Describe renders the assignment compactly ("c1=silent,e0=theft").
+func (a Assignment) Describe() string {
+	if len(a) == 0 {
+		return "all-honest"
+	}
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		if a[id] != Honest {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return "all-honest"
+	}
+	sort.Strings(ids)
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += ","
+		}
+		out += id + "=" + string(a[id])
+	}
+	return out
+}
+
+// SingleFaultAssignments enumerates every assignment in which exactly one
+// participant misbehaves, pairing each customer with every customer
+// behaviour and each escrow with every escrow behaviour. The all-honest
+// assignment is included first.
+func SingleFaultAssignments(topo core.Topology) []Assignment {
+	out := []Assignment{{}}
+	for _, id := range topo.Customers() {
+		for _, b := range CustomerBehaviours() {
+			out = append(out, Assignment{id: b})
+		}
+	}
+	for _, id := range topo.Escrows() {
+		for _, b := range EscrowBehaviours() {
+			out = append(out, Assignment{id: b})
+		}
+	}
+	return out
+}
+
+// PairFaultAssignments enumerates assignments with exactly two misbehaving
+// participants drawn from a reduced behaviour set (to keep sweeps tractable).
+func PairFaultAssignments(topo core.Topology) []Assignment {
+	behaviours := map[string][]Behaviour{}
+	for _, id := range topo.Customers() {
+		behaviours[id] = []Behaviour{Silent, Withhold, RefusePayment}
+	}
+	for _, id := range topo.Escrows() {
+		behaviours[id] = []Behaviour{Silent, Theft}
+	}
+	ids := topo.Participants()
+	var out []Assignment
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			for _, bi := range behaviours[ids[i]] {
+				for _, bj := range behaviours[ids[j]] {
+					out = append(out, Assignment{ids[i]: bi, ids[j]: bj})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DelayAttack returns a pre-GST adversarial delay strategy that stretches
+// every message whose description matches match to the given delay; other
+// messages travel in one tick. It is used by the Theorem-2 impossibility
+// search to starve a specific protocol phase.
+func DelayAttack(delay sim.Time, match func(describe string) bool) func(describe string) sim.Time {
+	return func(describe string) sim.Time {
+		if match(describe) {
+			return delay
+		}
+		return 1
+	}
+}

@@ -1,0 +1,115 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestSpecHonestIsZero(t *testing.T) {
+	if Spec(Honest, core.DefaultTiming()).IsByzantine() {
+		t.Fatal("honest behaviour produced a Byzantine fault spec")
+	}
+}
+
+func TestSpecEveryBehaviourDistinctAndByzantine(t *testing.T) {
+	timing := core.DefaultTiming()
+	seen := map[core.FaultSpec]Behaviour{}
+	for _, b := range AllBehaviours() {
+		if b == Honest {
+			continue
+		}
+		spec := Spec(b, timing)
+		if !spec.IsByzantine() {
+			t.Errorf("behaviour %s maps to the honest spec", b)
+		}
+		if prev, dup := seen[spec]; dup {
+			t.Errorf("behaviours %s and %s map to the same fault spec", b, prev)
+		}
+		seen[spec] = b
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	s := core.NewScenario(3, 1)
+	a := Assignment{"c1": Silent}
+	s2 := a.Apply(s)
+	if len(s.Faults) != 0 {
+		t.Fatal("Apply mutated the original scenario's fault map")
+	}
+	if !s2.FaultOf("c1").Silent {
+		t.Fatal("Apply did not install the fault")
+	}
+}
+
+func TestApplySkipsHonest(t *testing.T) {
+	s := core.NewScenario(2, 1)
+	s2 := Assignment{"c0": Honest, "c1": Withhold}.Apply(s)
+	if s2.FaultOf("c0").IsByzantine() {
+		t.Error("honest entry produced a fault")
+	}
+	if !s2.FaultOf("c1").WithholdCertificate {
+		t.Error("withhold entry not applied")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := (Assignment{}).Describe(); got != "all-honest" {
+		t.Errorf("empty assignment described as %q", got)
+	}
+	if got := (Assignment{"c0": Honest}).Describe(); got != "all-honest" {
+		t.Errorf("all-honest assignment described as %q", got)
+	}
+	got := Assignment{"c1": Silent, "e0": Theft}.Describe()
+	if got != "c1=silent,e0=theft" {
+		t.Errorf("unexpected description %q", got)
+	}
+}
+
+func TestSingleFaultAssignmentsCoverage(t *testing.T) {
+	topo := core.NewTopology(3)
+	all := SingleFaultAssignments(topo)
+	if len(all) == 0 || len(all[0]) != 0 {
+		t.Fatal("first assignment must be all-honest")
+	}
+	want := 1 + len(topo.Customers())*len(CustomerBehaviours()) + len(topo.Escrows())*len(EscrowBehaviours())
+	if len(all) != want {
+		t.Fatalf("expected %d assignments, got %d", want, len(all))
+	}
+	// Every participant must appear at least once as the faulty one.
+	seen := map[string]bool{}
+	for _, a := range all {
+		for id := range a {
+			seen[id] = true
+		}
+	}
+	for _, id := range topo.Participants() {
+		if !seen[id] {
+			t.Errorf("participant %s never corrupted", id)
+		}
+	}
+}
+
+func TestPairFaultAssignments(t *testing.T) {
+	topo := core.NewTopology(2)
+	pairs := PairFaultAssignments(topo)
+	if len(pairs) == 0 {
+		t.Fatal("no pair assignments generated")
+	}
+	for _, a := range pairs {
+		if len(a) != 2 {
+			t.Fatalf("pair assignment has %d entries: %v", len(a), a)
+		}
+	}
+}
+
+func TestDelayAttack(t *testing.T) {
+	attack := DelayAttack(10*sim.Second, func(d string) bool { return d == "chi" })
+	if got := attack("chi"); got != 10*sim.Second {
+		t.Errorf("matched message delayed by %v", got)
+	}
+	if got := attack("$"); got != 1 {
+		t.Errorf("unmatched message delayed by %v", got)
+	}
+}

@@ -1,0 +1,99 @@
+package deals
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file is the Section-5 bridge between cross-chain payments and
+// cross-chain deals. The paper's full version shows that neither problem is a
+// special case of the other; the two translation functions here make the
+// mismatch concrete and are exercised by experiment E6:
+//
+//   - PaymentAsDeal maps a linear payment onto a deal matrix. The result is
+//     a path graph, which is not strongly connected, so it falls outside the
+//     class of well-formed deals for which Herlihy et al.'s protocols are
+//     proven correct. Moreover the deal view has no place for Bob's
+//     certificate chi, so CS1's "proof of payment" has no counterpart.
+//
+//   - DealAsPayment attempts the reverse: it succeeds only for deals whose
+//     digraph is a single simple path with one asset per hop — everything
+//     else (cycles, fan-in/fan-out, multi-asset swaps) has no linear-payment
+//     counterpart.
+
+// PaymentAsDeal renders a cross-chain payment (the Fig. 1 topology plus the
+// agreed per-hop amounts) as a cross-chain deal: one party per customer and
+// one arc per hop, each hop's asset held by the escrow of that hop.
+func PaymentAsDeal(topo core.Topology, spec core.PaymentSpec) *Deal {
+	d := NewDeal(topo.Customers()...)
+	for i := 0; i < topo.N; i++ {
+		d.Transfer(topo.UpstreamCustomer(i), topo.DownstreamCustomer(i), Asset{
+			Type:   core.EscrowID(i),
+			Amount: spec.AmountVia(i),
+		})
+	}
+	return d
+}
+
+// DealAsPayment attempts to express a deal as a linear cross-chain payment.
+// It returns the chain length n and the per-hop amounts on success, or an
+// error explaining which structural feature of the deal has no counterpart
+// in the payment problem.
+func DealAsPayment(d *Deal) (topo core.Topology, spec core.PaymentSpec, err error) {
+	arcs := d.Arcs()
+	if len(arcs) == 0 {
+		return topo, spec, fmt.Errorf("deals: empty deal has no payment counterpart")
+	}
+	out := map[string]int{}
+	in := map[string]int{}
+	next := map[string]Arc{}
+	for _, arc := range arcs {
+		out[arc.From]++
+		in[arc.To]++
+		if out[arc.From] > 1 {
+			return topo, spec, fmt.Errorf("deals: party %s pays more than one party (fan-out); a payment has a single flow", arc.From)
+		}
+		if in[arc.To] > 1 {
+			return topo, spec, fmt.Errorf("deals: party %s is paid by more than one party (fan-in); a payment has a single flow", arc.To)
+		}
+		next[arc.From] = arc
+	}
+	// Find the unique source (out-degree 1, in-degree 0).
+	var source string
+	for _, p := range d.Parties {
+		if out[p] == 1 && in[p] == 0 {
+			if source != "" {
+				return topo, spec, fmt.Errorf("deals: multiple sources (%s and %s); a payment has exactly one payer", source, p)
+			}
+			source = p
+		}
+		if out[p] == 0 && in[p] == 0 {
+			return topo, spec, fmt.Errorf("deals: party %s takes no part in any transfer", p)
+		}
+	}
+	if source == "" {
+		return topo, spec, fmt.Errorf("deals: the deal graph has a cycle; a payment is acyclic")
+	}
+	// Walk the path.
+	var amounts []int64
+	seen := map[string]bool{source: true}
+	for cur := source; ; {
+		arc, ok := next[cur]
+		if !ok {
+			break
+		}
+		if seen[arc.To] {
+			return topo, spec, fmt.Errorf("deals: the deal graph has a cycle through %s", arc.To)
+		}
+		seen[arc.To] = true
+		amounts = append(amounts, arc.Asset.Amount)
+		cur = arc.To
+	}
+	if len(amounts) != len(arcs) {
+		return topo, spec, fmt.Errorf("deals: the deal graph is disconnected; a payment is a single chain")
+	}
+	topo = core.NewTopology(len(amounts))
+	spec = core.PaymentSpec{PaymentID: "deal-as-payment", Amounts: amounts}
+	return topo, spec, nil
+}

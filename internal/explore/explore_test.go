@@ -1,0 +1,120 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestCandidatesCoverFiniteAndInfinite(t *testing.T) {
+	cands := Candidates()
+	if len(cands) < 3 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	var hasInfinite, hasFinite bool
+	for _, c := range cands {
+		if c.Scale <= 0 {
+			hasInfinite = true
+		} else {
+			hasFinite = true
+		}
+		if c.Build == nil || c.Name == "" {
+			t.Fatalf("candidate %+v incomplete", c)
+		}
+	}
+	if !hasInfinite || !hasFinite {
+		t.Fatal("the family must contain both finite and infinite timeout variants")
+	}
+}
+
+func TestAttacksMatchProtocolMessages(t *testing.T) {
+	atts := Attacks(1 * sim.Second)
+	if len(atts) < 2 {
+		t.Fatalf("only %d attacks", len(atts))
+	}
+	byName := map[string]Attack{}
+	for _, a := range atts {
+		byName[a.Name] = a
+		if a.Holdback <= 0 {
+			t.Errorf("attack %s has no holdback", a.Name)
+		}
+	}
+	if !byName["delay-certificates"].Matches("chi(pay by c3)") {
+		t.Error("certificate attack does not match certificate messages")
+	}
+	if byName["delay-certificates"].Matches("$(100)") {
+		t.Error("certificate attack matches money messages")
+	}
+	if !byName["delay-money"].Matches("$(100)") {
+		t.Error("money attack does not match money messages")
+	}
+	if !byName["delay-promises"].Matches("P(a=1ms from e0 to c1)") {
+		t.Error("promise attack does not match promises")
+	}
+}
+
+func TestAttacksHoldbackCapped(t *testing.T) {
+	a := Attacks(0)
+	if a[0].Holdback != sim.Hour {
+		t.Fatalf("zero window should cap the holdback at one hour, got %v", a[0].Holdback)
+	}
+}
+
+func TestControlUnderSynchrony(t *testing.T) {
+	ok, err := ControlUnderSynchrony(Options{N: 2, Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cand, pass := range ok {
+		if !pass {
+			t.Errorf("candidate %s violates Definition 1 even under synchrony", cand)
+		}
+	}
+}
+
+func TestSearchImpossibilityAndTheorem2(t *testing.T) {
+	findings := SearchImpossibility(Options{N: 2, Seeds: []int64{1, 2}, Horizon: 10 * sim.Minute})
+	if len(findings) == 0 {
+		t.Fatal("no findings produced")
+	}
+	if err := VerifyTheorem2(findings); err != nil {
+		t.Fatalf("Theorem 2 not reproduced: %v", err)
+	}
+	// The characteristic trade-off: some finite-timeout candidate loses
+	// strong liveness, and the infinite-timeout candidate loses termination.
+	var finiteLosesLiveness, infiniteLosesTermination bool
+	for _, f := range findings {
+		for _, p := range f.Violated {
+			if p == core.PropStrongLiveness && f.Candidate != "timelock-infinite" {
+				finiteLosesLiveness = true
+			}
+			if p == core.PropTermination && f.Candidate == "timelock-infinite" {
+				infiniteLosesTermination = true
+			}
+		}
+	}
+	if !finiteLosesLiveness {
+		t.Error("no finite-timeout candidate lost strong liveness under any attack")
+	}
+	if !infiniteLosesTermination {
+		t.Error("the infinite-timeout candidate never lost termination under any attack")
+	}
+}
+
+func TestVerifyTheorem2RejectsSurvivors(t *testing.T) {
+	findings := []Finding{
+		{Candidate: "clean", Attack: "a", Violated: nil},
+		{Candidate: "broken", Attack: "a", Violated: []core.Property{core.PropStrongLiveness}},
+	}
+	if err := VerifyTheorem2(findings); err == nil {
+		t.Fatal("a surviving candidate must be reported")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.N <= 0 || len(o.Seeds) == 0 || o.Horizon <= 0 {
+		t.Fatalf("incomplete defaults %+v", o)
+	}
+}

@@ -1,0 +1,218 @@
+// Package htlc implements the hashed-timelock baseline: a chain of
+// hash-timelocked escrow contracts in the style of the Interledger atomic
+// mode and of payment-channel networks.
+//
+// The paper's introduction positions its contribution against exactly this
+// family: prior cross-chain payment protocols "did not require this success,
+// or any form of progress". A hashed-timelock chain is atomic — either every
+// hop completes or every hop refunds — but it gives Alice no transferable
+// certificate that Bob has been paid, it offers no success guarantee (Bob may
+// simply never reveal the preimage and everybody waits out the full
+// timelock), and the collateral of every connector stays locked for a time
+// that grows linearly with the chain length. Experiment E7 quantifies these
+// differences against the Figure-2 protocol.
+//
+// Protocol sketch (money flows Alice = c0 -> Bob = c_n):
+//
+//   - Bob's invoice fixes a hashlock H = SHA-256(R) known to every
+//     participant; only Bob knows the preimage R.
+//   - Alice locks the agreed value at escrow e0 under (H, expiry T_0).
+//   - each connector c_i, once its incoming lock at e_{i-1} exists, locks the
+//     (slightly smaller) outgoing value at e_i under (H, T_i) with
+//     T_i = T_{i-1} - margin, so that claiming downstream always leaves time
+//     to claim upstream;
+//   - Bob claims at e_{n-1} by revealing R; the escrow pays him and exposes R
+//     to c_{n-1}, who claims at e_{n-2}, and so on back to e_0;
+//   - a lock that is not claimed by its expiry is refunded to its payer.
+package htlc
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/netsim"
+	"repro/internal/sig"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Protocol is the hashed-timelock baseline. It implements core.Protocol.
+type Protocol struct {
+	// HopMargin is the per-hop decrement of the timelock expiry. Zero uses a
+	// margin derived from the scenario's timing assumptions.
+	HopMargin sim.Time
+	// BaseExpiry is Bob-side expiry (the shortest timelock). Zero derives it
+	// from the timing assumptions.
+	BaseExpiry sim.Time
+}
+
+// New returns the baseline with derived timelock parameters.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements core.Protocol.
+func (p *Protocol) Name() string { return "htlc" }
+
+// hopMargin returns the per-hop expiry decrement.
+func (p *Protocol) hopMargin(t core.Timing) sim.Time {
+	if p.HopMargin > 0 {
+		return p.HopMargin
+	}
+	return 6*t.MaxMsgDelay + 4*t.MaxProcessing
+}
+
+// baseExpiry returns the expiry of the lock closest to Bob.
+func (p *Protocol) baseExpiry(t core.Timing) sim.Time {
+	if p.BaseExpiry > 0 {
+		return p.BaseExpiry
+	}
+	return 4*t.MaxMsgDelay + 4*t.MaxProcessing
+}
+
+// ExpiryOf returns the local-time expiry used for the lock at escrow e_i in
+// a chain of n escrows: locks closer to Alice expire later, and every expiry
+// leaves room for the chain to be set up hop by hop before the first (Bob
+// side) timelock can fire.
+func (p *Protocol) ExpiryOf(i, n int, t core.Timing) sim.Time {
+	setup := sim.Time(n) * (2*t.MaxMsgDelay + 2*t.MaxProcessing)
+	return setup + p.baseExpiry(t) + sim.Time(n-1-i)*p.hopMargin(t)
+}
+
+// defaultMaxEvents caps a run's event count as a runaway guard.
+const defaultMaxEvents = 2_000_000
+
+// Messages.
+
+// MsgCreateLock is the customer's instruction to her escrow to lock value
+// under the hashlock.
+type MsgCreateLock struct {
+	PaymentID string
+	Amount    int64
+	HashLock  []byte
+	Expiry    sim.Time // in the escrow's local clock
+}
+
+// Describe implements netsim.Message.
+func (m MsgCreateLock) Describe() string { return fmt.Sprintf("hashlock(%d)", m.Amount) }
+
+// MsgLockCreated notifies the downstream customer that an incoming lock is
+// in place.
+type MsgLockCreated struct {
+	PaymentID string
+	Amount    int64
+	HashLock  []byte
+}
+
+// Describe implements netsim.Message.
+func (m MsgLockCreated) Describe() string { return "lock-created" }
+
+// MsgClaim reveals the preimage to an escrow to claim a lock.
+type MsgClaim struct {
+	PaymentID string
+	Preimage  []byte
+}
+
+// Describe implements netsim.Message.
+func (m MsgClaim) Describe() string { return "claim" }
+
+// MsgClaimed tells the payer that her lock was claimed, exposing the
+// preimage so she can claim her own incoming lock.
+type MsgClaimed struct {
+	PaymentID string
+	Amount    int64
+	Preimage  []byte
+}
+
+// Describe implements netsim.Message.
+func (m MsgClaimed) Describe() string { return "claimed" }
+
+// MsgPaid tells the payee the escrow credited her account.
+type MsgPaid struct {
+	PaymentID string
+	Amount    int64
+}
+
+// Describe implements netsim.Message.
+func (m MsgPaid) Describe() string { return "paid" }
+
+// MsgRefunded tells the payer her lock expired and was refunded.
+type MsgRefunded struct {
+	PaymentID string
+	Amount    int64
+}
+
+// Describe implements netsim.Message.
+func (m MsgRefunded) Describe() string { return "refunded" }
+
+// Run implements core.Protocol.
+func (p *Protocol) Run(s core.Scenario) (*core.RunResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("htlc: %w", err)
+	}
+	eng := sim.NewEngine(s.Seed)
+	tr := trace.New()
+	if s.MuteTrace {
+		tr.Mute()
+	}
+	net := netsim.New(eng, s.Network, tr)
+	topo := s.Topology
+
+	book := ledger.NewBook()
+	for i := 0; i < topo.N; i++ {
+		led := ledger.New(core.EscrowID(i))
+		if err := led.CreateAccount(core.EscrowID(i)); err != nil {
+			return nil, err
+		}
+		for _, cust := range []string{topo.UpstreamCustomer(i), topo.DownstreamCustomer(i)} {
+			if err := led.CreateAccount(cust); err != nil {
+				return nil, err
+			}
+			if err := led.Mint(0, cust, s.InitialBalance); err != nil {
+				return nil, err
+			}
+		}
+		book.Add(led)
+	}
+
+	clocks := make(map[string]*clock.Clock, len(topo.Participants()))
+	rng := eng.Rand()
+	for _, id := range topo.Participants() {
+		rho := clock.Drift(0)
+		var offset sim.Time
+		if s.Timing.Clock.MaxRho > 0 {
+			rho = clock.Drift((2*rng.Float64() - 1) * float64(s.Timing.Clock.MaxRho))
+		}
+		if s.Timing.Clock.MaxOffset > 0 {
+			offset = sim.Time(rng.Int63n(int64(2*s.Timing.Clock.MaxOffset+1))) - s.Timing.Clock.MaxOffset
+		}
+		clocks[id] = clock.New(eng, rho, offset)
+	}
+
+	// Bob's invoice: the preimage is derived deterministically from the
+	// scenario so runs are reproducible.
+	preimage := []byte(fmt.Sprintf("preimage-%s-%d", s.Spec.PaymentID, s.Seed))
+	hashLock := sig.HashPreimage(preimage)
+
+	r := &runState{
+		proto:        p,
+		scn:          s,
+		eng:          eng,
+		net:          net,
+		tr:           tr,
+		book:         book,
+		clocks:       clocks,
+		preimage:     preimage,
+		hashLock:     hashLock,
+		wealthBefore: book.SnapshotWealth(),
+	}
+	r.build()
+	r.start()
+
+	maxEvents := s.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = defaultMaxEvents
+	}
+	_, fired := eng.Run(maxEvents)
+	return r.collect(fired), nil
+}

@@ -1,0 +1,478 @@
+package htlc
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/netsim"
+	"repro/internal/sig"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runState holds one HTLC run.
+type runState struct {
+	proto  *Protocol
+	scn    core.Scenario
+	eng    *sim.Engine
+	net    *netsim.Network
+	tr     *trace.Trace
+	book   *ledger.Book
+	clocks map[string]*clock.Clock
+
+	preimage []byte
+	hashLock []byte
+
+	escrows   map[string]*escrowProc
+	customers map[string]*customerProc
+
+	wealthBefore map[string]int64
+}
+
+func (r *runState) build() {
+	topo := r.scn.Topology
+	r.escrows = map[string]*escrowProc{}
+	r.customers = map[string]*customerProc{}
+	for i := 0; i < topo.N; i++ {
+		esc := &escrowProc{
+			run:   r,
+			i:     i,
+			id:    core.EscrowID(i),
+			up:    topo.UpstreamCustomer(i),
+			down:  topo.DownstreamCustomer(i),
+			clk:   r.clocks[core.EscrowID(i)],
+			led:   r.book.MustGet(core.EscrowID(i)),
+			fault: r.scn.FaultOf(core.EscrowID(i)),
+		}
+		r.escrows[esc.id] = esc
+		r.net.Register(esc)
+	}
+	for i := 0; i <= topo.N; i++ {
+		c := &customerProc{
+			run:   r,
+			i:     i,
+			id:    core.CustomerID(i),
+			clk:   r.clocks[core.CustomerID(i)],
+			fault: r.scn.FaultOf(core.CustomerID(i)),
+		}
+		if up, ok := topo.UpstreamEscrow(i); ok {
+			c.upEscrow = up
+		}
+		if down, ok := topo.DownstreamEscrow(i); ok {
+			c.downEscrow = down
+		}
+		r.customers[c.id] = c
+		r.net.Register(c)
+	}
+}
+
+func (r *runState) start() {
+	topo := r.scn.Topology
+	for _, id := range topo.Customers() {
+		r.customers[id].start()
+	}
+	for _, id := range topo.Participants() {
+		f := r.scn.FaultOf(id)
+		if !f.Crash {
+			continue
+		}
+		id := id
+		r.eng.ScheduleAt(f.CrashAt, "crash:"+id, func() {
+			if esc, ok := r.escrows[id]; ok {
+				esc.crashed = true
+			}
+			if cust, ok := r.customers[id]; ok {
+				cust.crashed = true
+			}
+		})
+	}
+}
+
+func (r *runState) procDelay() sim.Time {
+	maxP := r.scn.Timing.MaxProcessing
+	if maxP <= 0 {
+		return 0
+	}
+	return sim.Time(r.eng.Rand().Int63n(int64(maxP + 1)))
+}
+
+func (r *runState) actionDelay(id string) sim.Time {
+	return r.procDelay() + r.scn.FaultOf(id).DelayActions
+}
+
+func (r *runState) lockID(i int) string {
+	return r.scn.Spec.PaymentID + "/" + core.EscrowID(i)
+}
+
+func (r *runState) collect(fired uint64) *core.RunResult {
+	topo := r.scn.Topology
+	res := &core.RunResult{
+		Protocol:    r.proto.Name(),
+		Scenario:    r.scn,
+		Trace:       r.tr,
+		Book:        r.book,
+		Customers:   map[string]core.CustomerOutcome{},
+		Escrows:     map[string]core.EscrowOutcome{},
+		NetStats:    r.net.Stats(),
+		EventsFired: fired,
+	}
+	wealthAfter := r.book.SnapshotWealth()
+	allTerm := true
+	var lastTerm sim.Time
+	for _, id := range topo.Customers() {
+		c := r.customers[id]
+		out := core.CustomerOutcome{
+			ID:           id,
+			Role:         topo.RoleOf(id),
+			Terminated:   c.term,
+			TerminatedAt: c.termAt,
+			WealthBefore: r.wealthBefore[id],
+			WealthAfter:  wealthAfter[id],
+			PaidOut:      c.paid,
+			Received:     c.credited,
+			// An HTLC chain produces no signed payment certificate: Alice's
+			// only evidence is the bare preimage, which HoldsChi deliberately
+			// does not count. Experiment E7 keys on this difference.
+			HoldsChi:  false,
+			IssuedChi: false,
+		}
+		if out.Terminated && out.TerminatedAt > lastTerm {
+			lastTerm = out.TerminatedAt
+		}
+		if !r.scn.FaultOf(id).IsByzantine() && !out.Terminated {
+			allTerm = false
+		}
+		res.Customers[id] = out
+	}
+	for _, id := range topo.Escrows() {
+		led := r.book.MustGet(id)
+		res.Escrows[id] = core.EscrowOutcome{
+			ID:           id,
+			BalanceDelta: led.Balance(id),
+			PendingLocks: len(led.PendingLocks()),
+			AuditErr:     led.Audit(),
+		}
+	}
+	bob := res.Customers[topo.Bob()]
+	res.BobPaid = bob.Received > 0 || bob.NetWealthChange() > 0
+	res.AllTerminated = allTerm
+	if lastTerm > 0 {
+		res.Duration = lastTerm
+	} else {
+		res.Duration = r.eng.Now()
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Escrow process
+// ---------------------------------------------------------------------------
+
+// escrowProc is escrow e_i: it holds the hash-timelocked contract between
+// c_i (payer) and c_{i+1} (payee). Unlike the Figure-2 escrow it enforces
+// the hashlock and the timelock mechanically; it makes no promises.
+type escrowProc struct {
+	run   *runState
+	i     int
+	id    string
+	up    string
+	down  string
+	clk   *clock.Clock
+	led   *ledger.Ledger
+	fault core.FaultSpec
+
+	lockCreated bool
+	settled     bool
+	crashed     bool
+	expiry      sim.Time
+}
+
+// ID implements netsim.Node.
+func (p *escrowProc) ID() string { return p.id }
+
+func (p *escrowProc) active() bool { return !p.crashed }
+
+// Deliver implements netsim.Node.
+func (p *escrowProc) Deliver(from string, msg netsim.Message) {
+	if !p.active() {
+		return
+	}
+	switch m := msg.(type) {
+	case MsgCreateLock:
+		p.onCreateLock(from, m)
+	case MsgClaim:
+		p.onClaim(from, m)
+	}
+}
+
+func (p *escrowProc) onCreateLock(from string, m MsgCreateLock) {
+	if from != p.up || p.lockCreated {
+		return
+	}
+	want := p.run.scn.Spec.AmountVia(p.i)
+	if m.Amount != want || m.PaymentID != p.run.scn.Spec.PaymentID {
+		p.run.tr.AddValue(p.run.eng.Now(), trace.KindViolation, p.id, from, "wrong-amount", m.Amount)
+		return
+	}
+	cond := ledger.Condition{HashLock: m.HashLock, Expiry: m.Expiry}
+	if _, err := p.led.CreateLock(p.run.eng.Now(), p.run.lockID(p.i), p.up, p.down, want, cond); err != nil {
+		p.run.tr.AddValue(p.run.eng.Now(), trace.KindViolation, p.id, from, "lock-failed", want)
+		return
+	}
+	p.lockCreated = true
+	p.expiry = m.Expiry
+	p.run.tr.AddValue(p.run.eng.Now(), trace.KindLock, p.id, p.up, p.run.lockID(p.i), want)
+	if !p.fault.Silent {
+		p.run.eng.ScheduleIn(p.run.actionDelay(p.id), p.id+":notify-lock", func() {
+			if p.active() {
+				p.run.net.Send(p.id, p.down, MsgLockCreated{PaymentID: m.PaymentID, Amount: want, HashLock: m.HashLock})
+			}
+		})
+	}
+	// Arm the refund at the lock's expiry (escrow-local clock).
+	p.clk.ScheduleAtLocal(m.Expiry, p.id+":expiry", p.onExpiry)
+}
+
+func (p *escrowProc) onClaim(from string, m MsgClaim) {
+	if from != p.down || !p.lockCreated || p.settled {
+		return
+	}
+	if m.PaymentID != p.run.scn.Spec.PaymentID {
+		return
+	}
+	if p.fault.StealEscrow {
+		p.run.tr.Add(p.run.eng.Now(), trace.KindByzantine, p.id, "", "steal-escrow")
+		p.settled = true
+		return
+	}
+	amount := p.run.scn.Spec.AmountVia(p.i)
+	if err := p.led.Release(p.run.eng.Now(), p.run.lockID(p.i), m.Preimage, p.clk.Now()); err != nil {
+		p.run.tr.Add(p.run.eng.Now(), trace.KindViolation, p.id, from, "claim-rejected: "+err.Error())
+		return
+	}
+	p.settled = true
+	p.run.tr.AddValue(p.run.eng.Now(), trace.KindRelease, p.id, p.down, p.run.lockID(p.i), amount)
+	if p.fault.Silent {
+		return
+	}
+	p.run.eng.ScheduleIn(p.run.actionDelay(p.id), p.id+":settle", func() {
+		if !p.active() {
+			return
+		}
+		p.run.net.Send(p.id, p.down, MsgPaid{PaymentID: m.PaymentID, Amount: amount})
+		if !p.fault.WithholdCertificate {
+			// Exposing the preimage to the payer is what lets the claim
+			// cascade upstream; withholding it is the classic griefing attack.
+			p.run.net.Send(p.id, p.up, MsgClaimed{PaymentID: m.PaymentID, Amount: amount, Preimage: m.Preimage})
+		}
+	})
+}
+
+func (p *escrowProc) onExpiry() {
+	if !p.active() || !p.lockCreated || p.settled {
+		return
+	}
+	if p.fault.StealEscrow {
+		p.settled = true
+		return
+	}
+	amount := p.run.scn.Spec.AmountVia(p.i)
+	if err := p.led.Refund(p.run.eng.Now(), p.run.lockID(p.i), p.clk.Now()); err != nil {
+		// The claim may have raced the expiry; nothing to do.
+		return
+	}
+	p.settled = true
+	p.run.tr.AddValue(p.run.eng.Now(), trace.KindRefund, p.id, p.up, p.run.lockID(p.i), amount)
+	if !p.fault.Silent {
+		p.run.net.Send(p.id, p.up, MsgRefunded{PaymentID: p.run.scn.Spec.PaymentID, Amount: amount})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Customer process
+// ---------------------------------------------------------------------------
+
+// customerProc is customer c_i in the HTLC chain.
+type customerProc struct {
+	run   *runState
+	i     int
+	id    string
+	clk   *clock.Clock
+	fault core.FaultSpec
+
+	upEscrow   string
+	downEscrow string
+
+	incomingLock bool
+	outgoingLock bool
+	paid         int64
+	credited     int64
+	gotPreimage  bool
+	outResolved  bool // outgoing lock claimed or refunded
+	inResolved   bool // incoming lock claimed (by us) or known refunded
+
+	crashed bool
+	term    bool
+	termAt  sim.Time
+}
+
+// ID implements netsim.Node.
+func (c *customerProc) ID() string { return c.id }
+
+func (c *customerProc) active() bool { return !c.crashed && !c.term }
+
+func (c *customerProc) isAlice() bool { return c.i == 0 }
+func (c *customerProc) isBob() bool   { return c.i == c.run.scn.Topology.N }
+
+func (c *customerProc) start() {
+	if c.fault.Crash && c.fault.CrashAt == 0 {
+		c.crashed = true
+		return
+	}
+	if c.isAlice() {
+		c.createOutgoingLock()
+	}
+}
+
+// createOutgoingLock asks the downstream escrow to lock this customer's
+// money under the hashlock with this hop's expiry.
+func (c *customerProc) createOutgoingLock() {
+	if c.outgoingLock || c.isBob() || c.fault.RefuseToPay || c.fault.Silent {
+		return
+	}
+	c.outgoingLock = true
+	topo := c.run.scn.Topology
+	amount := c.run.scn.Spec.AmountVia(c.i)
+	expiry := c.run.proto.ExpiryOf(c.i, topo.N, c.run.scn.Timing)
+	c.run.eng.ScheduleIn(c.run.actionDelay(c.id), c.id+":lock", func() {
+		if !c.active() {
+			return
+		}
+		c.paid = amount
+		c.run.net.Send(c.id, c.downEscrow, MsgCreateLock{
+			PaymentID: c.run.scn.Spec.PaymentID,
+			Amount:    amount,
+			HashLock:  c.run.hashLock,
+			Expiry:    expiry,
+		})
+	})
+}
+
+// Deliver implements netsim.Node.
+func (c *customerProc) Deliver(from string, msg netsim.Message) {
+	if !c.active() {
+		return
+	}
+	switch m := msg.(type) {
+	case MsgLockCreated:
+		c.onLockCreated(from, m)
+	case MsgClaimed:
+		c.onClaimed(from, m)
+	case MsgPaid:
+		c.onPaid(from, m)
+	case MsgRefunded:
+		c.onRefunded(from, m)
+	}
+}
+
+// onLockCreated reacts to the incoming lock at the upstream escrow: a
+// connector extends the chain by locking at her own escrow; Bob claims by
+// revealing the preimage.
+func (c *customerProc) onLockCreated(from string, m MsgLockCreated) {
+	if from != c.upEscrow || c.incomingLock {
+		return
+	}
+	if !sig.CheckPreimage(m.HashLock, c.run.preimage) {
+		// A hashlock Bob cannot open is worthless; an honest connector would
+		// refuse to extend the chain for it. (Only reachable with a Byzantine
+		// upstream party inventing its own hashlock.)
+		return
+	}
+	c.incomingLock = true
+	if c.isBob() {
+		if c.fault.WithholdCertificate || c.fault.Silent {
+			// Bob never reveals the preimage: the whole chain times out.
+			c.run.tr.Add(c.run.eng.Now(), trace.KindByzantine, c.id, "", "withhold-preimage")
+			return
+		}
+		c.run.eng.ScheduleIn(c.run.actionDelay(c.id), c.id+":claim", func() {
+			if c.active() {
+				c.run.net.Send(c.id, c.upEscrow, MsgClaim{PaymentID: m.PaymentID, Preimage: c.run.preimage})
+			}
+		})
+		return
+	}
+	c.createOutgoingLock()
+}
+
+// onClaimed learns the preimage from the downstream escrow (our outgoing
+// lock was claimed) and uses it to claim the incoming lock upstream.
+func (c *customerProc) onClaimed(from string, m MsgClaimed) {
+	if from != c.downEscrow {
+		return
+	}
+	c.outResolved = true
+	c.gotPreimage = true
+	if c.isAlice() {
+		// Alice's payment completed; the preimage is her (informal) evidence.
+		c.terminate("payment-complete")
+		return
+	}
+	if c.fault.Silent {
+		return
+	}
+	c.run.eng.ScheduleIn(c.run.actionDelay(c.id), c.id+":claim-up", func() {
+		if c.active() {
+			c.run.net.Send(c.id, c.upEscrow, MsgClaim{PaymentID: m.PaymentID, Preimage: m.Preimage})
+		}
+	})
+}
+
+// onPaid credits an incoming payment from the upstream escrow.
+func (c *customerProc) onPaid(from string, m MsgPaid) {
+	if from != c.upEscrow {
+		return
+	}
+	c.credited += m.Amount
+	c.inResolved = true
+	c.maybeTerminate()
+}
+
+// onRefunded handles the refund of this customer's own outgoing lock.
+func (c *customerProc) onRefunded(from string, m MsgRefunded) {
+	if from != c.downEscrow {
+		return
+	}
+	c.credited += m.Amount
+	c.outResolved = true
+	c.maybeTerminate()
+}
+
+func (c *customerProc) maybeTerminate() {
+	if c.term {
+		return
+	}
+	switch {
+	case c.isAlice():
+		if c.outResolved {
+			c.terminate("resolved")
+		}
+	case c.isBob():
+		if c.inResolved {
+			c.terminate("paid")
+		}
+	default:
+		// A connector is done once her own lock is resolved and she has no
+		// claim left to make upstream: either she never learned the preimage
+		// (refund path), or her upstream claim has been paid out.
+		if c.outResolved && (!c.gotPreimage || c.inResolved) {
+			c.terminate("resolved")
+		}
+	}
+}
+
+func (c *customerProc) terminate(reason string) {
+	c.term = true
+	c.termAt = c.run.eng.Now()
+	c.run.tr.Add(c.run.eng.Now(), trace.KindTerminate, c.id, "", reason)
+}

@@ -1,0 +1,313 @@
+// Package netsim simulates the message network connecting participants.
+//
+// The paper's three theorems are statements about timing models: Theorem 1
+// assumes synchrony (every message arrives within a known bound), Theorems 2
+// and 3 assume partial synchrony (a bound exists but either is unknown or
+// only holds after an unknown global stabilisation time, GST). This package
+// realises those models as pluggable DelayModel implementations over the
+// deterministic simulation kernel, plus adversarial hooks used by the
+// impossibility experiments (E4) to stretch delays against a protocol.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Message is the payload moved between participants. Protocol packages
+// define concrete message types; Describe is used for traces only.
+type Message interface {
+	Describe() string
+}
+
+// Node is a participant attached to the network.
+type Node interface {
+	// ID returns the participant's unique identifier.
+	ID() string
+	// Deliver is invoked by the network when a message arrives.
+	Deliver(from string, msg Message)
+}
+
+// Envelope describes a message in flight; adversarial delay models receive
+// it when choosing delays.
+type Envelope struct {
+	From   string
+	To     string
+	Msg    Message
+	SentAt sim.Time
+	Seq    uint64
+}
+
+// DelayModel decides how long each message spends in the network.
+type DelayModel interface {
+	// Delay returns the network delay for the envelope and whether the
+	// message is dropped. Correct-channel models never drop.
+	Delay(env Envelope, eng *sim.Engine) (delay sim.Time, drop bool)
+	// Name identifies the model in traces and experiment tables.
+	Name() string
+}
+
+// Synchronous delivers every message within [Min, Max]; Max is the bound
+// Delta known to all participants (Theorem 1's model).
+type Synchronous struct {
+	Min sim.Time
+	Max sim.Time
+}
+
+// Name implements DelayModel.
+func (s Synchronous) Name() string { return "synchronous" }
+
+// Delay implements DelayModel.
+func (s Synchronous) Delay(env Envelope, eng *sim.Engine) (sim.Time, bool) {
+	lo, hi := s.Min, s.Max
+	if hi < lo {
+		hi = lo
+	}
+	if hi == lo {
+		return lo, false
+	}
+	return lo + sim.Time(eng.Rand().Int63n(int64(hi-lo+1))), false
+}
+
+// PartialSynchrony delivers messages with arbitrary (but finite) delay before
+// GST and within Delta after GST. Before GST the delay is chosen by PreGST if
+// set, otherwise uniformly in [Delta, MaxPreGST].
+type PartialSynchrony struct {
+	GST       sim.Time
+	Delta     sim.Time
+	MaxPreGST sim.Time
+	// PreGST, if non-nil, chooses the pre-GST delay adversarially.
+	PreGST func(env Envelope, eng *sim.Engine) sim.Time
+}
+
+// Name implements DelayModel.
+func (p PartialSynchrony) Name() string { return "partial-synchrony" }
+
+// Delay implements DelayModel.
+func (p PartialSynchrony) Delay(env Envelope, eng *sim.Engine) (sim.Time, bool) {
+	if env.SentAt >= p.GST {
+		if p.Delta <= 0 {
+			return 1, false
+		}
+		return 1 + sim.Time(eng.Rand().Int63n(int64(p.Delta))), false
+	}
+	if p.PreGST != nil {
+		d := p.PreGST(env, eng)
+		// A message sent before GST is still guaranteed to arrive by
+		// GST + Delta: partial synchrony never loses messages.
+		if env.SentAt+d > p.GST+p.Delta {
+			d = p.GST + p.Delta - env.SentAt
+		}
+		if d < 1 {
+			d = 1
+		}
+		return d, false
+	}
+	hi := p.MaxPreGST
+	if hi < p.Delta {
+		hi = p.Delta
+	}
+	if hi <= 0 {
+		hi = 1
+	}
+	d := 1 + sim.Time(eng.Rand().Int63n(int64(hi)))
+	if env.SentAt+d > p.GST+p.Delta {
+		d = p.GST + p.Delta - env.SentAt
+		if d < 1 {
+			d = 1
+		}
+	}
+	return d, false
+}
+
+// Adversarial lets a strategy pick every delay (and optionally drop
+// messages from/to Byzantine parties). Used by the Theorem-2 impossibility
+// search: the adversary may delay any message by any finite amount.
+type Adversarial struct {
+	Strategy func(env Envelope, eng *sim.Engine) (sim.Time, bool)
+	Label    string
+}
+
+// Name implements DelayModel.
+func (a Adversarial) Name() string {
+	if a.Label != "" {
+		return "adversarial:" + a.Label
+	}
+	return "adversarial"
+}
+
+// Delay implements DelayModel.
+func (a Adversarial) Delay(env Envelope, eng *sim.Engine) (sim.Time, bool) {
+	if a.Strategy == nil {
+		return 1, false
+	}
+	return a.Strategy(env, eng)
+}
+
+// LinkRule overrides delays on a specific directed link; used to model a
+// single slow or partitioned connection.
+type LinkRule struct {
+	From, To string
+	// Extra is added to the model's delay on this link.
+	Extra sim.Time
+	// Drop silently discards every message on this link.
+	Drop bool
+	// Until limits the rule to messages sent before this time (0 = forever).
+	Until sim.Time
+}
+
+// Stats aggregates network-level counters for the cost experiments (E8).
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	// TotalDelay accumulates delivery latency of delivered messages.
+	TotalDelay sim.Time
+	// MaxDelay is the largest delivery latency observed.
+	MaxDelay sim.Time
+}
+
+// MeanDelay returns the average delivery latency.
+func (s Stats) MeanDelay() sim.Time {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.TotalDelay / sim.Time(s.Delivered)
+}
+
+// Network connects nodes through a delay model on a simulation engine.
+type Network struct {
+	eng   *sim.Engine
+	model DelayModel
+	tr    *trace.Trace
+	nodes map[string]Node
+	rules []LinkRule
+	seq   uint64
+	stats Stats
+	// Tap, if set, observes every delivered message after the recipient
+	// handles it (used by checkers needing message-level visibility).
+	Tap func(env Envelope, deliveredAt sim.Time)
+}
+
+// New creates a network over eng using the given delay model, recording into
+// tr (which may be nil, in which case a fresh muted-free trace is created).
+func New(eng *sim.Engine, model DelayModel, tr *trace.Trace) *Network {
+	if tr == nil {
+		tr = trace.New()
+	}
+	return &Network{eng: eng, model: model, tr: tr, nodes: map[string]Node{}}
+}
+
+// Engine returns the underlying simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Trace returns the trace the network records into.
+func (n *Network) Trace() *trace.Trace { return n.tr }
+
+// Model returns the delay model in use.
+func (n *Network) Model() DelayModel { return n.model }
+
+// SetModel replaces the delay model (e.g. to switch an experiment from
+// synchrony to partial synchrony mid-setup).
+func (n *Network) SetModel(m DelayModel) { n.model = m }
+
+// Stats returns a copy of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Register attaches a node. Registering two nodes with the same ID is a
+// programming error and panics.
+func (n *Network) Register(node Node) {
+	id := node.ID()
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node id %q", id))
+	}
+	n.nodes[id] = node
+}
+
+// NodeIDs returns the registered node IDs (unsorted).
+func (n *Network) NodeIDs() []string {
+	out := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// AddRule installs a link rule.
+func (n *Network) AddRule(r LinkRule) { n.rules = append(n.rules, r) }
+
+// Send hands a message from one participant to another. Unknown recipients
+// cause the message to be dropped (and traced), mirroring a payment sent to
+// a non-existent account rather than crashing the run.
+func (n *Network) Send(from, to string, msg Message) {
+	n.seq++
+	env := Envelope{From: from, To: to, Msg: msg, SentAt: n.eng.Now(), Seq: n.seq}
+	n.stats.Sent++
+	n.tr.Add(n.eng.Now(), trace.KindSend, from, to, msg.Describe())
+
+	delay, drop := n.model.Delay(env, n.eng)
+	for _, r := range n.rules {
+		if r.From == from && r.To == to && (r.Until == 0 || env.SentAt < r.Until) {
+			delay += r.Extra
+			if r.Drop {
+				drop = true
+			}
+		}
+	}
+	dst, ok := n.nodes[to]
+	if drop || !ok {
+		n.stats.Dropped++
+		n.tr.Add(n.eng.Now(), trace.KindDrop, from, to, msg.Describe())
+		return
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	n.eng.ScheduleIn(delay, "deliver:"+msg.Describe(), func() {
+		n.stats.Delivered++
+		n.stats.TotalDelay += delay
+		if delay > n.stats.MaxDelay {
+			n.stats.MaxDelay = delay
+		}
+		n.tr.Add(n.eng.Now(), trace.KindDeliver, to, from, msg.Describe())
+		dst.Deliver(from, msg)
+		if n.Tap != nil {
+			n.Tap(env, n.eng.Now())
+		}
+	})
+}
+
+// Broadcast sends msg from one participant to every other registered node.
+func (n *Network) Broadcast(from string, msg Message) {
+	for id := range n.nodes {
+		if id != from {
+			n.Send(from, id, msg)
+		}
+	}
+}
+
+// FuncNode adapts a handler function into a Node; useful in tests and for
+// lightweight observers.
+type FuncNode struct {
+	Id      string
+	Handler func(from string, msg Message)
+}
+
+// ID implements Node.
+func (f *FuncNode) ID() string { return f.Id }
+
+// Deliver implements Node.
+func (f *FuncNode) Deliver(from string, msg Message) {
+	if f.Handler != nil {
+		f.Handler(from, msg)
+	}
+}
+
+// RawMessage is a trivial Message carrying a label; used by tests and by the
+// consensus layer for control messages that need no structure.
+type RawMessage struct{ Label string }
+
+// Describe implements Message.
+func (r RawMessage) Describe() string { return r.Label }

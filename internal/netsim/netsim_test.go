@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func probeNetwork(model DelayModel) (*sim.Engine, *Network, *[]string) {
+	eng := sim.NewEngine(1)
+	net := New(eng, model, trace.New())
+	var delivered []string
+	net.Register(&FuncNode{Id: "a"})
+	net.Register(&FuncNode{Id: "b", Handler: func(from string, msg Message) {
+		delivered = append(delivered, msg.Describe())
+	}})
+	return eng, net, &delivered
+}
+
+func TestSynchronousDeliversWithinBound(t *testing.T) {
+	delta := 50 * sim.Millisecond
+	eng, net, delivered := probeNetwork(Synchronous{Min: 1 * sim.Millisecond, Max: delta})
+	for i := 0; i < 50; i++ {
+		net.Send("a", "b", RawMessage{Label: "m"})
+	}
+	end, _ := eng.Run(0)
+	if len(*delivered) != 50 {
+		t.Fatalf("delivered %d of 50", len(*delivered))
+	}
+	if end > delta {
+		t.Fatalf("a message took %v, beyond the bound %v", end, delta)
+	}
+	st := net.Stats()
+	if st.Sent != 50 || st.Delivered != 50 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MeanDelay() <= 0 || st.MaxDelay > delta {
+		t.Fatalf("delay stats %+v", st)
+	}
+}
+
+func TestPartialSynchronyRespectsDeltaAfterGST(t *testing.T) {
+	gst := 1 * sim.Second
+	delta := 20 * sim.Millisecond
+	model := PartialSynchrony{GST: gst, Delta: delta, MaxPreGST: 5 * sim.Second}
+	eng := sim.NewEngine(3)
+	env := Envelope{From: "a", To: "b", Msg: RawMessage{Label: "m"}}
+	for i := 0; i < 200; i++ {
+		env.SentAt = sim.Time(i) * 20 * sim.Millisecond
+		d, drop := model.Delay(env, eng)
+		if drop {
+			t.Fatal("partial synchrony dropped a message")
+		}
+		if env.SentAt >= gst && d > delta {
+			t.Fatalf("post-GST delay %v exceeds delta %v", d, delta)
+		}
+		if env.SentAt < gst && env.SentAt+d > gst+5*sim.Second+delta {
+			t.Fatalf("pre-GST message delayed unboundedly: %v", d)
+		}
+	}
+}
+
+func TestPartialSynchronyAdversarialPreGSTCap(t *testing.T) {
+	gst := 500 * sim.Millisecond
+	delta := 10 * sim.Millisecond
+	model := PartialSynchrony{
+		GST: gst, Delta: delta,
+		PreGST: func(env Envelope, eng *sim.Engine) sim.Time { return sim.Hour },
+	}
+	eng := sim.NewEngine(1)
+	env := Envelope{SentAt: 0}
+	d, _ := model.Delay(env, eng)
+	if env.SentAt+d > gst+delta {
+		t.Fatalf("pre-GST message not delivered by GST+Delta: %v", d)
+	}
+}
+
+func TestAdversarialStrategy(t *testing.T) {
+	model := Adversarial{
+		Label: "drop-b",
+		Strategy: func(env Envelope, eng *sim.Engine) (sim.Time, bool) {
+			return 5, env.To == "b"
+		},
+	}
+	if model.Name() != "adversarial:drop-b" {
+		t.Fatalf("name %q", model.Name())
+	}
+	eng, net, delivered := probeNetwork(model)
+	net.Register(&FuncNode{Id: "c"})
+	net.Send("a", "b", RawMessage{Label: "to-b"})
+	net.Send("a", "c", RawMessage{Label: "to-c"})
+	eng.Run(0)
+	if len(*delivered) != 0 {
+		t.Fatal("message to b should have been dropped")
+	}
+	if net.Stats().Dropped != 1 || net.Stats().Delivered != 1 {
+		t.Fatalf("stats %+v", net.Stats())
+	}
+	// A nil strategy delivers promptly.
+	if d, drop := (Adversarial{}).Delay(Envelope{}, eng); d != 1 || drop {
+		t.Fatal("nil strategy should deliver in one tick")
+	}
+}
+
+func TestLinkRules(t *testing.T) {
+	eng, net, delivered := probeNetwork(Synchronous{Min: 1, Max: 1})
+	net.AddRule(LinkRule{From: "a", To: "b", Drop: true, Until: 10 * sim.Millisecond})
+	net.Send("a", "b", RawMessage{Label: "early"})
+	eng.ScheduleAt(20*sim.Millisecond, "later", func() {
+		net.Send("a", "b", RawMessage{Label: "late"})
+	})
+	eng.Run(0)
+	if len(*delivered) != 1 || (*delivered)[0] != "late" {
+		t.Fatalf("delivered %v, want only the late message", *delivered)
+	}
+}
+
+func TestUnknownRecipientIsDropped(t *testing.T) {
+	eng, net, _ := probeNetwork(Synchronous{Min: 1, Max: 1})
+	net.Send("a", "ghost", RawMessage{Label: "m"})
+	eng.Run(0)
+	if net.Stats().Dropped != 1 {
+		t.Fatal("message to an unknown node was not counted as dropped")
+	}
+}
+
+func TestBroadcastAndTap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Synchronous{Min: 1, Max: 1}, nil)
+	count := 0
+	for _, id := range []string{"a", "b", "c", "d"} {
+		id := id
+		net.Register(&FuncNode{Id: id, Handler: func(string, Message) { count++ }})
+	}
+	taps := 0
+	net.Tap = func(env Envelope, at sim.Time) { taps++ }
+	net.Broadcast("a", RawMessage{Label: "hello"})
+	eng.Run(0)
+	if count != 3 || taps != 3 {
+		t.Fatalf("broadcast reached %d nodes, tapped %d", count, taps)
+	}
+	if len(net.NodeIDs()) != 4 {
+		t.Fatal("NodeIDs wrong")
+	}
+	if net.Model().Name() != "synchronous" || net.Engine() != eng || net.Trace() == nil {
+		t.Fatal("accessors wrong")
+	}
+	net.SetModel(Adversarial{})
+	if net.Model().Name() != "adversarial" {
+		t.Fatal("SetModel did not take effect")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Synchronous{Min: 1, Max: 1}, nil)
+	net.Register(&FuncNode{Id: "a"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	net.Register(&FuncNode{Id: "a"})
+}
+
+// Property: the synchronous model never exceeds its bound and never drops,
+// for any min/max configuration and any seed.
+func TestPropertySynchronousBound(t *testing.T) {
+	f := func(minRaw, maxRaw uint16, seed int64) bool {
+		min := sim.Time(minRaw)
+		max := sim.Time(maxRaw)
+		model := Synchronous{Min: min, Max: max}
+		eng := sim.NewEngine(seed)
+		d, drop := model.Delay(Envelope{}, eng)
+		if drop {
+			return false
+		}
+		upper := max
+		if upper < min {
+			upper = min
+		}
+		return d >= min && d <= upper
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

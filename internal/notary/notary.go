@@ -1,0 +1,135 @@
+// Package notary implements the transaction manager of the weak-liveness
+// protocol (Theorem 3, Definition 2).
+//
+// The paper offers three realisations of the manager: "a single external
+// party trusted by all, or a smart contract running on a permissionless
+// blockchain shared by every customer. It can also be a collection of
+// notaries appointed by the participants in the protocol, of which less than
+// one-third is assumed to be unreliable", running a partially synchronous
+// consensus in the style of Dwork, Lynch and Stockmeyer. This package
+// provides the first and third behind one interface: Trusted is a single
+// manager process; Committee is a committee of notaries running a
+// leader-based, view-changing vote protocol that needs f < n/3 Byzantine
+// members for safety and partial synchrony for liveness.
+//
+// The manager's job is small but critical: collect "prepared" notifications
+// from the escrows, collect abort requests from impatient customers, and
+// issue exactly one decision certificate — commit once every escrow is
+// prepared, or abort if a customer asked for it first. Certificate
+// consistency (property CC) is exactly the statement that commit and abort
+// certificates are never both issued.
+package notary
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sig"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Protocol messages exchanged with (and within) the transaction manager.
+
+// MsgPrepared is sent by escrow e_i to the manager once the upstream
+// customer's money is locked in escrow.
+type MsgPrepared struct {
+	PaymentID string
+	Escrow    string
+}
+
+// Describe implements netsim.Message.
+func (m MsgPrepared) Describe() string { return "prepared(" + m.Escrow + ")" }
+
+// MsgAbortRequest is sent by a customer that lost patience.
+type MsgAbortRequest struct {
+	PaymentID string
+	Customer  string
+}
+
+// Describe implements netsim.Message.
+func (m MsgAbortRequest) Describe() string { return "abort-request(" + m.Customer + ")" }
+
+// MsgDecision carries the manager's decision certificate to participants
+// (and between notaries, so that all learn an assembled certificate).
+type MsgDecision struct {
+	Cert sig.DecisionCert
+}
+
+// Describe implements netsim.Message.
+func (m MsgDecision) Describe() string { return m.Cert.Describe() }
+
+// MsgProposal is the committee-internal proposal broadcast by the view's
+// leader.
+type MsgProposal struct {
+	PaymentID string
+	Decision  sig.Decision
+	View      int
+	Leader    string
+}
+
+// Describe implements netsim.Message.
+func (m MsgProposal) Describe() string {
+	return fmt.Sprintf("propose(%s,v%d by %s)", m.Decision, m.View, m.Leader)
+}
+
+// MsgVote is a committee-internal vote for a proposal.
+type MsgVote struct {
+	PaymentID string
+	Decision  sig.Decision
+	View      int
+	Voter     string
+	Sig       sig.Signature
+}
+
+// Describe implements netsim.Message.
+func (m MsgVote) Describe() string {
+	return fmt.Sprintf("vote(%s,v%d by %s)", m.Decision, m.View, m.Voter)
+}
+
+// votePayload is the canonical payload a notary signs when voting. It binds
+// payment, decision and view.
+func votePayload(paymentID string, d sig.Decision, view int) []byte {
+	return []byte(fmt.Sprintf("vote|%s|%s|%d", paymentID, d, view))
+}
+
+// Manager is the common interface of the transaction-manager
+// implementations: the weak-liveness protocol sends MsgPrepared and
+// MsgAbortRequest to every ID in IDs() and receives MsgDecision broadcasts
+// in return.
+type Manager interface {
+	// IDs lists the node IDs protocol messages must be sent to.
+	IDs() []string
+	// CommitIssued and AbortIssued report whether a valid certificate of the
+	// respective kind was ever issued during the run.
+	CommitIssued() bool
+	AbortIssued() bool
+	// Quorum returns the number of signatures a valid certificate carries.
+	Quorum() int
+}
+
+// Deps bundles what a manager implementation needs from the protocol run.
+type Deps struct {
+	Net        *netsim.Network
+	Eng        *sim.Engine
+	Kr         *sig.Keyring
+	Tr         *trace.Trace
+	PaymentID  string
+	NumEscrows int
+	// Recipients are the participant IDs (customers and escrows) that must
+	// receive the decision broadcast.
+	Recipients []string
+	Timing     core.Timing
+	// FaultOf returns the fault spec of a manager/notary ID (zero if honest).
+	FaultOf func(id string) core.FaultSpec
+	// KeySeed derives the notaries' deterministic keys.
+	KeySeed string
+}
+
+func (d Deps) faultOf(id string) core.FaultSpec {
+	if d.FaultOf == nil {
+		return core.FaultSpec{}
+	}
+	return d.FaultOf(id)
+}

@@ -1,0 +1,133 @@
+package notary
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sig"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Trusted is the single-external-party realisation of the transaction
+// manager: one process, trusted by all participants, that decides commit
+// when every escrow reports prepared and abort when any customer asks first.
+type Trusted struct {
+	deps  Deps
+	fault core.FaultSpec
+
+	prepared map[string]bool
+	decided  bool
+	decision sig.Decision
+
+	commitIssued bool
+	abortIssued  bool
+	crashed      bool
+}
+
+// NewTrusted creates the single trusted manager, registers it on the network
+// under core.ManagerID and returns it.
+func NewTrusted(d Deps) *Trusted {
+	t := &Trusted{
+		deps:     d,
+		fault:    d.faultOf(core.ManagerID),
+		prepared: map[string]bool{},
+	}
+	if !d.Kr.Has(core.ManagerID) {
+		d.Kr.Add(d.KeySeed, core.ManagerID)
+	}
+	d.Net.Register(&managerNode{id: core.ManagerID, deliver: t.deliver})
+	if t.fault.Crash {
+		d.Eng.ScheduleAt(t.fault.CrashAt, "crash:"+core.ManagerID, func() { t.crashed = true })
+	}
+	return t
+}
+
+// managerNode adapts a deliver function to netsim.Node.
+type managerNode struct {
+	id      string
+	deliver func(from string, msg netsim.Message)
+}
+
+// ID implements netsim.Node.
+func (n *managerNode) ID() string { return n.id }
+
+// Deliver implements netsim.Node.
+func (n *managerNode) Deliver(from string, msg netsim.Message) {
+	n.deliver(from, msg)
+}
+
+// IDs implements Manager.
+func (t *Trusted) IDs() []string { return []string{core.ManagerID} }
+
+// Quorum implements Manager.
+func (t *Trusted) Quorum() int { return 1 }
+
+// CommitIssued implements Manager.
+func (t *Trusted) CommitIssued() bool { return t.commitIssued }
+
+// AbortIssued implements Manager.
+func (t *Trusted) AbortIssued() bool { return t.abortIssued }
+
+func (t *Trusted) deliver(from string, msg netsim.Message) {
+	if t.crashed || t.fault.Silent {
+		return
+	}
+	switch m := msg.(type) {
+	case MsgPrepared:
+		if m.PaymentID != t.deps.PaymentID || t.decided {
+			return
+		}
+		t.prepared[m.Escrow] = true
+		if len(t.prepared) >= t.deps.NumEscrows {
+			t.decide(sig.DecisionCommit)
+		}
+	case MsgAbortRequest:
+		if m.PaymentID != t.deps.PaymentID || t.decided {
+			return
+		}
+		t.decide(sig.DecisionAbort)
+	}
+}
+
+// decide fixes the decision (exactly once for an honest manager) and
+// broadcasts the certificate. An equivocating Byzantine manager issues both
+// certificates, which is exactly the behaviour the CC checker must catch
+// when the manager is corrupt.
+func (t *Trusted) decide(d sig.Decision) {
+	if t.decided && !t.fault.Equivocate {
+		return
+	}
+	t.decided = true
+	t.decision = d
+	t.issue(d)
+	if t.fault.Equivocate {
+		other := sig.DecisionAbort
+		if d == sig.DecisionAbort {
+			other = sig.DecisionCommit
+		}
+		t.issue(other)
+	}
+}
+
+func (t *Trusted) issue(d sig.Decision) {
+	delay := sim.Time(t.deps.Eng.Rand().Int63n(int64(t.deps.Timing.MaxProcessing + 1)))
+	t.deps.Eng.ScheduleIn(delay+t.fault.DelayActions, "manager:decide", func() {
+		if t.crashed {
+			return
+		}
+		cert := sig.NewDecisionCert(t.deps.Kr, t.deps.PaymentID, d, core.ManagerID, t.deps.Eng.Now())
+		switch d {
+		case sig.DecisionCommit:
+			t.commitIssued = true
+		case sig.DecisionAbort:
+			t.abortIssued = true
+		}
+		t.deps.Tr.Add(t.deps.Eng.Now(), trace.KindDecision, core.ManagerID, "", cert.Describe())
+		if t.fault.WithholdCertificate {
+			return // decided internally but never tells anyone
+		}
+		for _, id := range t.deps.Recipients {
+			t.deps.Net.Send(core.ManagerID, id, MsgDecision{Cert: cert})
+		}
+	})
+}

@@ -1,0 +1,386 @@
+// Package sig provides the authentication layer of the classic Byzantine
+// model with authentication assumed by the paper.
+//
+// It offers deterministic ed25519 keyrings (one key per participant), typed
+// signed artefacts — the payment certificate chi signed by Bob, the escrow
+// promises G(d) and P(a), and the commit/abort certificates issued by the
+// transaction manager of the weak-liveness protocol — and verification
+// helpers. Byzantine participants may refuse to sign or replay artefacts,
+// but cannot forge signatures of correct participants.
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Signature is a detached signature over a canonical payload encoding.
+type Signature []byte
+
+// String renders a short hex prefix of the signature.
+func (s Signature) String() string {
+	if len(s) == 0 {
+		return "sig()"
+	}
+	return "sig(" + hex.EncodeToString(s[:8]) + "…)"
+}
+
+// deterministicReader produces a reproducible byte stream for key generation
+// so that every run with the same seed uses the same keys.
+type deterministicReader struct {
+	state [32]byte
+	buf   []byte
+}
+
+func newDeterministicReader(seed string) *deterministicReader {
+	return &deterministicReader{state: sha256.Sum256([]byte("xchainpay-keys:" + seed))}
+}
+
+func (r *deterministicReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(r.buf) == 0 {
+			next := sha256.Sum256(r.state[:])
+			r.state = next
+			r.buf = append(r.buf, next[:]...)
+		}
+		c := copy(p[n:], r.buf)
+		r.buf = r.buf[c:]
+		n += c
+	}
+	return n, nil
+}
+
+// Keyring maps participant IDs to ed25519 key pairs.
+type Keyring struct {
+	priv map[string]ed25519.PrivateKey
+	pub  map[string]ed25519.PublicKey
+}
+
+// NewKeyring creates deterministic keys for the given participants. The
+// participant order does not matter: keys depend only on (seed, id).
+func NewKeyring(seed string, participants []string) *Keyring {
+	kr := &Keyring{
+		priv: make(map[string]ed25519.PrivateKey, len(participants)),
+		pub:  make(map[string]ed25519.PublicKey, len(participants)),
+	}
+	ids := append([]string(nil), participants...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		kr.Add(seed, id)
+	}
+	return kr
+}
+
+// Add creates (or replaces) the key pair for one participant.
+func (kr *Keyring) Add(seed, id string) {
+	pub, priv, err := ed25519.GenerateKey(newDeterministicReader(seed + "/" + id))
+	if err != nil {
+		// ed25519.GenerateKey only fails if the reader fails, and ours cannot.
+		panic("sig: key generation failed: " + err.Error())
+	}
+	kr.priv[id] = priv
+	kr.pub[id] = pub
+}
+
+// Has reports whether the keyring holds a key for id.
+func (kr *Keyring) Has(id string) bool { _, ok := kr.priv[id]; return ok }
+
+// Participants returns the sorted IDs with keys.
+func (kr *Keyring) Participants() []string {
+	out := make([]string, 0, len(kr.priv))
+	for id := range kr.priv {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sign signs payload on behalf of id. Signing for an unknown participant
+// returns nil (which never verifies).
+func (kr *Keyring) Sign(id string, payload []byte) Signature {
+	priv, ok := kr.priv[id]
+	if !ok {
+		return nil
+	}
+	return Signature(ed25519.Sign(priv, payload))
+}
+
+// Verify checks that signer produced sig over payload.
+func (kr *Keyring) Verify(signer string, payload []byte, sig Signature) bool {
+	pub, ok := kr.pub[signer]
+	if !ok || len(sig) == 0 {
+		return false
+	}
+	return ed25519.Verify(pub, payload, sig)
+}
+
+// canonical builds a canonical byte encoding of a typed artefact. Fields are
+// length-prefixed so distinct field values can never collide.
+func canonical(kind string, fields ...any) []byte {
+	var out []byte
+	appendBytes := func(b []byte) {
+		var l [8]byte
+		binary.BigEndian.PutUint64(l[:], uint64(len(b)))
+		out = append(out, l[:]...)
+		out = append(out, b...)
+	}
+	appendBytes([]byte(kind))
+	for _, f := range fields {
+		switch v := f.(type) {
+		case string:
+			appendBytes([]byte(v))
+		case int64:
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(v))
+			appendBytes(b[:])
+		case sim.Time:
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(v))
+			appendBytes(b[:])
+		case []byte:
+			appendBytes(v)
+		default:
+			appendBytes([]byte(fmt.Sprintf("%v", v)))
+		}
+	}
+	return out
+}
+
+// PaymentCert is the certificate chi: a statement signed by Bob that Alice's
+// obligation to pay him has been met (Definition 1).
+type PaymentCert struct {
+	PaymentID string
+	Issuer    string // Bob
+	Payer     string // Alice
+	IssuedAt  sim.Time
+	Sig       Signature
+}
+
+func paymentCertPayload(c PaymentCert) []byte {
+	return canonical("chi", c.PaymentID, c.Issuer, c.Payer, c.IssuedAt)
+}
+
+// NewPaymentCert builds and signs chi with issuer's key.
+func NewPaymentCert(kr *Keyring, paymentID, issuer, payer string, at sim.Time) PaymentCert {
+	c := PaymentCert{PaymentID: paymentID, Issuer: issuer, Payer: payer, IssuedAt: at}
+	c.Sig = kr.Sign(issuer, paymentCertPayload(c))
+	return c
+}
+
+// Verify checks chi's signature against the expected issuer.
+func (c PaymentCert) Verify(kr *Keyring, expectedIssuer string) bool {
+	if c.Issuer != expectedIssuer {
+		return false
+	}
+	return kr.Verify(c.Issuer, paymentCertPayload(c), c.Sig)
+}
+
+// Describe implements a human-readable label.
+func (c PaymentCert) Describe() string {
+	return fmt.Sprintf("chi(%s by %s)", c.PaymentID, c.Issuer)
+}
+
+// Guarantee is the promise G(d) issued by escrow e_i to its upstream
+// customer c_i: "if I receive $ from you at my local time w, I will send you
+// either $ or chi by my local time w + d".
+type Guarantee struct {
+	PaymentID string
+	Escrow    string
+	Customer  string
+	D         sim.Time // the bound d, in the escrow's local clock units
+	IssuedAt  sim.Time
+	Sig       Signature
+}
+
+func guaranteePayload(g Guarantee) []byte {
+	return canonical("guarantee", g.PaymentID, g.Escrow, g.Customer, g.D, g.IssuedAt)
+}
+
+// NewGuarantee builds and signs G(d).
+func NewGuarantee(kr *Keyring, paymentID, escrow, customer string, d, at sim.Time) Guarantee {
+	g := Guarantee{PaymentID: paymentID, Escrow: escrow, Customer: customer, D: d, IssuedAt: at}
+	g.Sig = kr.Sign(escrow, guaranteePayload(g))
+	return g
+}
+
+// Verify checks the guarantee's signature against its stated escrow.
+func (g Guarantee) Verify(kr *Keyring) bool {
+	return kr.Verify(g.Escrow, guaranteePayload(g), g.Sig)
+}
+
+// Describe implements a human-readable label.
+func (g Guarantee) Describe() string {
+	return fmt.Sprintf("G(d=%v from %s to %s)", g.D, g.Escrow, g.Customer)
+}
+
+// Promise is P(a) issued by escrow e_i to its downstream customer c_{i+1}:
+// "if I receive chi from you at my time v with v < now + a, I will send you
+// $ by my local time v + epsilon".
+type Promise struct {
+	PaymentID string
+	Escrow    string
+	Customer  string
+	A         sim.Time // the window a, in the escrow's local clock units
+	Epsilon   sim.Time // processing bound epsilon
+	IssuedAt  sim.Time // escrow-local issue time (the "now" in the promise)
+	Sig       Signature
+}
+
+func promisePayload(p Promise) []byte {
+	return canonical("promise", p.PaymentID, p.Escrow, p.Customer, p.A, p.Epsilon, p.IssuedAt)
+}
+
+// NewPromise builds and signs P(a).
+func NewPromise(kr *Keyring, paymentID, escrow, customer string, a, epsilon, at sim.Time) Promise {
+	p := Promise{PaymentID: paymentID, Escrow: escrow, Customer: customer, A: a, Epsilon: epsilon, IssuedAt: at}
+	p.Sig = kr.Sign(escrow, promisePayload(p))
+	return p
+}
+
+// Verify checks the promise's signature against its stated escrow.
+func (p Promise) Verify(kr *Keyring) bool {
+	return kr.Verify(p.Escrow, promisePayload(p), p.Sig)
+}
+
+// Describe implements a human-readable label.
+func (p Promise) Describe() string {
+	return fmt.Sprintf("P(a=%v from %s to %s)", p.A, p.Escrow, p.Customer)
+}
+
+// Decision enumerates transaction-manager decisions in the weak-liveness
+// protocol (Definition 2).
+type Decision string
+
+// Transaction manager decisions.
+const (
+	DecisionCommit Decision = "commit"
+	DecisionAbort  Decision = "abort"
+)
+
+// DecisionCert is a commit or abort certificate (chi_c / chi_a) issued by
+// the transaction manager. For a notary committee, Signers carries one
+// signature per notary; Quorum records how many were required.
+type DecisionCert struct {
+	PaymentID string
+	Decision  Decision
+	Manager   string // logical manager identity (single party or committee name)
+	IssuedAt  sim.Time
+	// Signers lists the notary IDs that signed (just Manager for a single
+	// trusted manager).
+	Signers []string
+	// Sigs holds one signature per entry of Signers, in the same order.
+	Sigs []Signature
+	// Quorum is the number of signatures required for validity.
+	Quorum int
+}
+
+func decisionPayload(c DecisionCert) []byte {
+	return canonical("decision", c.PaymentID, string(c.Decision), c.Manager, c.IssuedAt)
+}
+
+// NewDecisionCert creates a certificate signed by a single manager.
+func NewDecisionCert(kr *Keyring, paymentID string, d Decision, manager string, at sim.Time) DecisionCert {
+	c := DecisionCert{PaymentID: paymentID, Decision: d, Manager: manager, IssuedAt: at, Quorum: 1}
+	c.Signers = []string{manager}
+	c.Sigs = []Signature{kr.Sign(manager, decisionPayload(c))}
+	return c
+}
+
+// NewCommitteeDecisionCert creates a certificate carrying one signature per
+// signer; quorum is the validity threshold (e.g. 2f+1 of 3f+1 notaries).
+func NewCommitteeDecisionCert(kr *Keyring, paymentID string, d Decision, committee string, at sim.Time, signers []string, quorum int) DecisionCert {
+	c := DecisionCert{PaymentID: paymentID, Decision: d, Manager: committee, IssuedAt: at, Quorum: quorum}
+	payload := decisionPayload(c)
+	for _, s := range signers {
+		c.Signers = append(c.Signers, s)
+		c.Sigs = append(c.Sigs, kr.Sign(s, payload))
+	}
+	return c
+}
+
+// Verify checks that the certificate carries at least Quorum valid
+// signatures from distinct signers.
+func (c DecisionCert) Verify(kr *Keyring) bool {
+	if len(c.Signers) != len(c.Sigs) || c.Quorum <= 0 {
+		return false
+	}
+	payload := decisionPayload(c)
+	valid := 0
+	seen := map[string]bool{}
+	for i, s := range c.Signers {
+		if seen[s] {
+			continue
+		}
+		if kr.Verify(s, payload, c.Sigs[i]) {
+			seen[s] = true
+			valid++
+		}
+	}
+	return valid >= c.Quorum
+}
+
+// Describe implements a human-readable label.
+func (c DecisionCert) Describe() string {
+	return fmt.Sprintf("%s-cert(%s by %s, %d sigs)", c.Decision, c.PaymentID, c.Manager, len(c.Sigs))
+}
+
+// Receipt is a generic signed receipt used by the HTLC/Interledger-atomic
+// baseline (the "certified" variant where the recipient signs receipt of
+// funds) and by the certified-blockchain deal protocol.
+type Receipt struct {
+	PaymentID string
+	Issuer    string
+	Subject   string // what the receipt attests, e.g. "funds-received"
+	IssuedAt  sim.Time
+	Sig       Signature
+}
+
+func receiptPayload(r Receipt) []byte {
+	return canonical("receipt", r.PaymentID, r.Issuer, r.Subject, r.IssuedAt)
+}
+
+// NewReceipt builds and signs a receipt.
+func NewReceipt(kr *Keyring, paymentID, issuer, subject string, at sim.Time) Receipt {
+	r := Receipt{PaymentID: paymentID, Issuer: issuer, Subject: subject, IssuedAt: at}
+	r.Sig = kr.Sign(issuer, receiptPayload(r))
+	return r
+}
+
+// Verify checks the receipt's signature.
+func (r Receipt) Verify(kr *Keyring) bool {
+	return kr.Verify(r.Issuer, receiptPayload(r), r.Sig)
+}
+
+// Describe implements a human-readable label.
+func (r Receipt) Describe() string {
+	return fmt.Sprintf("receipt(%s:%s by %s)", r.PaymentID, r.Subject, r.Issuer)
+}
+
+// HashLock helpers used by the HTLC baseline.
+
+// HashPreimage hashes a preimage for use as a hashlock.
+func HashPreimage(preimage []byte) []byte {
+	h := sha256.Sum256(preimage)
+	return h[:]
+}
+
+// CheckPreimage reports whether preimage hashes to lock.
+func CheckPreimage(lock, preimage []byte) bool {
+	h := sha256.Sum256(preimage)
+	if len(lock) != len(h) {
+		return false
+	}
+	for i := range h {
+		if lock[i] != h[i] {
+			return false
+		}
+	}
+	return true
+}

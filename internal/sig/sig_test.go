@@ -1,0 +1,191 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testKeyring() *Keyring {
+	return NewKeyring("test", []string{"alice", "bob", "escrow0", "manager", "notary0", "notary1", "notary2", "notary3"})
+}
+
+func TestKeyringDeterminism(t *testing.T) {
+	a := NewKeyring("seed", []string{"x", "y"})
+	b := NewKeyring("seed", []string{"y", "x"})
+	msg := []byte("hello")
+	if !bytes.Equal(a.Sign("x", msg), b.Sign("x", msg)) {
+		t.Fatal("same seed and id produced different keys")
+	}
+	c := NewKeyring("other", []string{"x"})
+	if bytes.Equal(a.Sign("x", msg), c.Sign("x", msg)) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	kr := testKeyring()
+	msg := []byte("payload")
+	sig := kr.Sign("alice", msg)
+	if !kr.Verify("alice", msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if kr.Verify("bob", msg, sig) {
+		t.Fatal("signature verified against the wrong signer")
+	}
+	if kr.Verify("alice", []byte("tampered"), sig) {
+		t.Fatal("signature verified over tampered payload")
+	}
+	if kr.Verify("alice", msg, nil) {
+		t.Fatal("empty signature verified")
+	}
+	if kr.Sign("stranger", msg) != nil {
+		t.Fatal("signing for an unknown id returned a signature")
+	}
+	if !kr.Has("alice") || kr.Has("stranger") {
+		t.Fatal("Has() wrong")
+	}
+	if len(kr.Participants()) != 8 {
+		t.Fatal("participant list wrong")
+	}
+	if sig.String() == "" || Signature(nil).String() == "" {
+		t.Fatal("signature rendering empty")
+	}
+}
+
+func TestPaymentCert(t *testing.T) {
+	kr := testKeyring()
+	chi := NewPaymentCert(kr, "pay1", "bob", "alice", 5*sim.Millisecond)
+	if !chi.Verify(kr, "bob") {
+		t.Fatal("genuine chi rejected")
+	}
+	if chi.Verify(kr, "alice") {
+		t.Fatal("chi accepted with the wrong expected issuer")
+	}
+	forged := chi
+	forged.PaymentID = "pay2"
+	if forged.Verify(kr, "bob") {
+		t.Fatal("tampered chi accepted")
+	}
+	impostor := NewPaymentCert(kr, "pay1", "alice", "alice", 5)
+	if impostor.Verify(kr, "bob") {
+		t.Fatal("chi issued by the wrong party accepted")
+	}
+	if chi.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestGuaranteeAndPromise(t *testing.T) {
+	kr := testKeyring()
+	g := NewGuarantee(kr, "pay1", "escrow0", "alice", 100*sim.Millisecond, 1)
+	if !g.Verify(kr) {
+		t.Fatal("genuine guarantee rejected")
+	}
+	g2 := g
+	g2.D++
+	if g2.Verify(kr) {
+		t.Fatal("tampered guarantee accepted")
+	}
+	p := NewPromise(kr, "pay1", "escrow0", "bob", 80*sim.Millisecond, 2*sim.Millisecond, 1)
+	if !p.Verify(kr) {
+		t.Fatal("genuine promise rejected")
+	}
+	p2 := p
+	p2.A++
+	if p2.Verify(kr) {
+		t.Fatal("tampered promise accepted")
+	}
+	if g.Describe() == "" || p.Describe() == "" {
+		t.Fatal("empty descriptions")
+	}
+}
+
+func TestDecisionCert(t *testing.T) {
+	kr := testKeyring()
+	single := NewDecisionCert(kr, "pay1", DecisionCommit, "manager", 3)
+	if !single.Verify(kr) {
+		t.Fatal("single-manager certificate rejected")
+	}
+	tampered := single
+	tampered.Decision = DecisionAbort
+	if tampered.Verify(kr) {
+		t.Fatal("tampered decision accepted")
+	}
+
+	signers := []string{"notary0", "notary1", "notary2"}
+	committee := NewCommitteeDecisionCert(kr, "pay1", DecisionAbort, "manager", 4, signers, 3)
+	if !committee.Verify(kr) {
+		t.Fatal("committee certificate rejected")
+	}
+	// Below quorum it must not verify.
+	short := NewCommitteeDecisionCert(kr, "pay1", DecisionAbort, "manager", 4, signers[:2], 3)
+	if short.Verify(kr) {
+		t.Fatal("certificate with too few signatures accepted")
+	}
+	// Duplicate signers must not inflate the count.
+	dup := NewCommitteeDecisionCert(kr, "pay1", DecisionAbort, "manager", 4, []string{"notary0", "notary0", "notary0"}, 3)
+	if dup.Verify(kr) {
+		t.Fatal("duplicate signers satisfied the quorum")
+	}
+	if committee.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestReceipt(t *testing.T) {
+	kr := testKeyring()
+	r := NewReceipt(kr, "pay1", "bob", "funds-received", 9)
+	if !r.Verify(kr) {
+		t.Fatal("genuine receipt rejected")
+	}
+	r2 := r
+	r2.Subject = "other"
+	if r2.Verify(kr) {
+		t.Fatal("tampered receipt accepted")
+	}
+	if r.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestHashPreimage(t *testing.T) {
+	pre := []byte("open sesame")
+	lock := HashPreimage(pre)
+	if !CheckPreimage(lock, pre) {
+		t.Fatal("correct preimage rejected")
+	}
+	if CheckPreimage(lock, []byte("wrong")) {
+		t.Fatal("wrong preimage accepted")
+	}
+	if CheckPreimage([]byte("short"), pre) {
+		t.Fatal("malformed lock accepted")
+	}
+}
+
+// Property: signatures verify exactly for the (signer, payload) pair that
+// produced them.
+func TestPropertySignatureBinding(t *testing.T) {
+	kr := testKeyring()
+	ids := kr.Participants()
+	f := func(payload []byte, signerIdx, verifierIdx uint8, flip bool) bool {
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		signer := ids[int(signerIdx)%len(ids)]
+		verifier := ids[int(verifierIdx)%len(ids)]
+		sig := kr.Sign(signer, payload)
+		check := append([]byte(nil), payload...)
+		if flip {
+			check[0] ^= 0xff
+		}
+		got := kr.Verify(verifier, check, sig)
+		want := signer == verifier && !flip
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

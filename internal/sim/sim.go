@@ -1,0 +1,241 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All protocols in this repository execute on top of this kernel: virtual
+// time only advances when the next scheduled event is processed, so a run is
+// a pure function of its inputs (scenario parameters and RNG seed). This is
+// what lets the property checkers in internal/check and the exhaustive
+// explorer in internal/explore reason about executions.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in microseconds since the start of the run.
+//
+// Microsecond granularity is fine enough to express clock drift over
+// realistic message delays while keeping all arithmetic in int64.
+type Time int64
+
+// Convenient duration units expressed in Time ticks.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Never is a sentinel Time larger than any reachable simulation instant.
+const Never Time = 1<<62 - 1
+
+// String renders a Time in a human-friendly way (milliseconds with three
+// decimals), used by traces and experiment tables.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Event is a scheduled callback.
+type Event struct {
+	// At is the virtual time at which the event fires.
+	At Time
+	// Name is an optional label used in traces and debugging.
+	Name string
+	// Fn is the callback invoked when the event fires.
+	Fn func()
+
+	seq      uint64 // tie-breaker for deterministic ordering
+	canceled bool
+	index    int // heap index, -1 when not queued
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or was already canceled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// eventQueue is a min-heap ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-run simulation engine. It is not safe for concurrent
+// use: a run is strictly sequential, which is what makes it reproducible.
+// Parallelism in this repository happens across independent runs.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Stats
+	fired     uint64
+	scheduled uint64
+}
+
+// NewEngine returns an engine with virtual time 0 and a deterministic RNG
+// derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsScheduled returns the total number of events scheduled so far.
+func (e *Engine) EventsScheduled() uint64 { return e.scheduled }
+
+// EventsFired returns the total number of events that have fired so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending returns the number of events currently waiting in the queue
+// (including canceled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ScheduleAt registers fn to run at absolute virtual time at. Scheduling in
+// the past is clamped to "now": the event fires before time advances further.
+func (e *Engine) ScheduleAt(at Time, name string, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.scheduled++
+	ev := &Event{At: at, Name: name, Fn: fn, seq: e.seq, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleIn registers fn to run after delay d from the current time.
+func (e *Engine) ScheduleIn(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now+d, name, fn)
+}
+
+// Stop halts the run: Run returns after the currently executing event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// step fires the earliest pending event. It returns false when the queue is
+// empty or the engine has been stopped.
+func (e *Engine) step(until Time) bool {
+	if e.stopped {
+		return false
+	}
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.At > until {
+			return false
+		}
+		heap.Pop(&e.queue)
+		e.now = next.At
+		e.fired++
+		next.Fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue drains, Stop is called, or the limit
+// on fired events is exceeded. It returns the virtual time at which the run
+// ended and the number of events fired.
+func (e *Engine) Run(maxEvents uint64) (Time, uint64) {
+	return e.RunUntil(Never, maxEvents)
+}
+
+// RunUntil processes events with firing time <= until, subject to the same
+// termination conditions as Run. Virtual time is advanced to until if the
+// queue drains earlier and until is not Never.
+func (e *Engine) RunUntil(until Time, maxEvents uint64) (Time, uint64) {
+	var fired uint64
+	for {
+		if maxEvents > 0 && fired >= maxEvents {
+			break
+		}
+		if !e.step(until) {
+			break
+		}
+		fired++
+	}
+	if until != Never && e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now, fired
+}
+
+// Drained reports whether no live (non-canceled) events remain.
+func (e *Engine) Drained() bool {
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventTime returns the firing time of the earliest live pending event,
+// or Never if none remain.
+func (e *Engine) NextEventTime() Time {
+	// The heap root may be canceled; scan lazily without disturbing order.
+	best := Never
+	for _, ev := range e.queue {
+		if !ev.canceled && ev.At < best {
+			best = ev.At
+		}
+	}
+	return best
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Microsecond).String(); got != "1.500ms" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Never.String(); got != "never" {
+		t.Errorf("Never renders as %q", got)
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (3 * Millisecond).Millis() != 3 {
+		t.Error("Millis conversion wrong")
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	eng := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		eng.ScheduleAt(at, "ev", func() { fired = append(fired, at) })
+	}
+	end, n := eng.Run(0)
+	if n != 5 {
+		t.Fatalf("fired %d events", n)
+	}
+	if end != 30 {
+		t.Fatalf("ended at %v", end)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events out of order: %v", fired)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.ScheduleAt(50, "tie", func() { order = append(order, i) })
+	}
+	eng.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	eng := NewEngine(1)
+	var secondAt Time
+	eng.ScheduleAt(100, "first", func() {
+		eng.ScheduleAt(10, "late", func() { secondAt = eng.Now() })
+	})
+	eng.Run(0)
+	if secondAt != 100 {
+		t.Fatalf("past-scheduled event fired at %v, want clamped to 100", secondAt)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	ev := eng.ScheduleAt(10, "cancel-me", func() { fired = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+	eng.Run(0)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !eng.Drained() {
+		t.Fatal("engine not drained after run")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	eng := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.ScheduleAt(Time(i), "tick", func() {
+			count++
+			if count == 3 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run(0)
+	if count != 3 {
+		t.Fatalf("stopped run fired %d events", count)
+	}
+	if !eng.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+}
+
+func TestRunUntilAdvancesToHorizon(t *testing.T) {
+	eng := NewEngine(1)
+	eng.ScheduleAt(10, "early", func() {})
+	eng.ScheduleAt(500, "late", func() {})
+	now, fired := eng.RunUntil(100, 0)
+	if fired != 1 || now != 100 {
+		t.Fatalf("RunUntil fired %d events and ended at %v", fired, now)
+	}
+	if eng.NextEventTime() != 500 {
+		t.Fatalf("next event at %v", eng.NextEventTime())
+	}
+}
+
+func TestMaxEventsCap(t *testing.T) {
+	eng := NewEngine(1)
+	var schedule func()
+	count := 0
+	schedule = func() {
+		count++
+		eng.ScheduleIn(1, "loop", schedule)
+	}
+	eng.ScheduleIn(1, "loop", schedule)
+	eng.Run(100)
+	if count != 100 {
+		t.Fatalf("event cap not enforced: %d events fired", count)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	eng := NewEngine(1)
+	eng.ScheduleAt(1, "a", func() {})
+	eng.ScheduleAt(2, "b", func() {})
+	if eng.EventsScheduled() != 2 || eng.Pending() != 2 {
+		t.Fatal("scheduling counters wrong")
+	}
+	eng.Run(0)
+	if eng.EventsFired() != 2 {
+		t.Fatal("fired counter wrong")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewEngine(7), NewEngine(7)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}
+
+func TestPropertyVirtualTimeMonotone(t *testing.T) {
+	f := func(delays []uint16) bool {
+		eng := NewEngine(3)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			d := Time(d)
+			eng.ScheduleAt(d, "ev", func() {
+				if eng.Now() < last {
+					ok = false
+				}
+				last = eng.Now()
+			})
+		}
+		eng.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

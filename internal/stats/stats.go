@@ -1,0 +1,174 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment tables report: mean, standard deviation, min/max, percentiles
+// and rates. It works on float64 samples; callers convert simulated times
+// with sim.Time.Millis or similar.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	values []float64
+}
+
+// New returns an empty sample.
+func New() *Sample { return &Sample{} }
+
+// Of returns a sample over the given values.
+func Of(values ...float64) *Sample {
+	s := New()
+	for _, v := range values {
+		s.Add(v)
+	}
+	return s
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// AddInt records one integer observation.
+func (s *Sample) AddInt(v int64) { s.Add(float64(v)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Sum returns the sum of observations.
+func (s *Sample) Sum() float64 {
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.values))
+}
+
+// Var returns the unbiased sample variance (0 for fewer than 2 samples).
+func (s *Sample) Var() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.values {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under a normal approximation.
+func (s *Sample) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// String summarises the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N(), s.Mean(), s.StdDev(), s.Min(), s.Median(), s.Percentile(95), s.Max())
+}
+
+// Counter tracks successes out of trials, e.g. "Bob paid in 97 of 100 runs".
+type Counter struct {
+	Hits   int
+	Trials int
+}
+
+// Observe records one trial.
+func (c *Counter) Observe(hit bool) {
+	c.Trials++
+	if hit {
+		c.Hits++
+	}
+}
+
+// Rate returns the hit rate in [0,1] (0 for no trials).
+func (c *Counter) Rate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Trials)
+}
+
+// Percent returns the hit rate as a percentage.
+func (c *Counter) Percent() float64 { return 100 * c.Rate() }
+
+// String renders the counter.
+func (c *Counter) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", c.Hits, c.Trials, c.Percent())
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	s := New()
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample must report zeros everywhere")
+	}
+}
+
+func TestBasicStatistics(t *testing.T) {
+	s := Of(2, 4, 4, 4, 5, 5, 7, 9)
+	if !almost(s.Mean(), 5) {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if !almost(s.Var(), 32.0/7.0) {
+		t.Errorf("var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Errorf("sum = %v", s.Sum())
+	}
+	if s.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := Of(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Median(); !almost(got, 5.5) {
+		t.Errorf("median = %v", got)
+	}
+	if got := s.Percentile(25); !almost(got, 3.25) {
+		t.Errorf("p25 = %v", got)
+	}
+}
+
+func TestAddInt(t *testing.T) {
+	s := New()
+	s.AddInt(3)
+	s.AddInt(7)
+	if !almost(s.Mean(), 5) {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Rate() != 0 {
+		t.Error("empty counter rate must be 0")
+	}
+	c.Observe(true)
+	c.Observe(true)
+	c.Observe(false)
+	c.Observe(true)
+	if c.Hits != 3 || c.Trials != 4 {
+		t.Errorf("counter %+v", c)
+	}
+	if !almost(c.Rate(), 0.75) || !almost(c.Percent(), 75) {
+		t.Errorf("rate %v percent %v", c.Rate(), c.Percent())
+	}
+	if c.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+// Property-based invariants on the sample statistics.
+
+func TestPropertyMeanWithinBounds(t *testing.T) {
+	f := func(values []float64) bool {
+		s := New()
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow in the sum.
+			s.Add(math.Mod(v, 1e9))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6 && m <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(values []float64, a, b uint8) bool {
+		s := New()
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(math.Mod(v, 1e9))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return s.Percentile(pa) <= s.Percentile(pb)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyVarianceNonNegative(t *testing.T) {
+	f := func(values []float64) bool {
+		s := New()
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(math.Mod(v, 1e6))
+		}
+		return s.Var() >= 0 && s.StdDev() >= 0 && s.CI95() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCounterRateBounded(t *testing.T) {
+	f := func(hits []bool) bool {
+		var c Counter
+		for _, h := range hits {
+			c.Observe(h)
+		}
+		return c.Rate() >= 0 && c.Rate() <= 1 && c.Trials == len(hits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package timelock
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+)
+
+// MsgGuarantee carries the escrow promise G(d_i) from escrow e_i to its
+// upstream customer c_i.
+type MsgGuarantee struct {
+	G sig.Guarantee
+}
+
+// Describe implements netsim.Message.
+func (m MsgGuarantee) Describe() string { return m.G.Describe() }
+
+// MsgPromise carries the escrow promise P(a_i) from escrow e_i to its
+// downstream customer c_{i+1}.
+type MsgPromise struct {
+	P sig.Promise
+}
+
+// Describe implements netsim.Message.
+func (m MsgPromise) Describe() string { return m.P.Describe() }
+
+// MsgMoney represents the transfer "$": from a customer to its escrow it is
+// the instruction to place the agreed value in escrow; from an escrow to a
+// customer it notifies a release (payment) or a refund.
+type MsgMoney struct {
+	PaymentID string
+	Amount    int64
+	// Refund marks an escrow-to-customer message as a refund rather than a
+	// downstream payment.
+	Refund bool
+}
+
+// Describe implements netsim.Message.
+func (m MsgMoney) Describe() string {
+	if m.Refund {
+		return fmt.Sprintf("$refund(%d)", m.Amount)
+	}
+	return fmt.Sprintf("$(%d)", m.Amount)
+}
+
+// MsgCert carries the payment certificate chi, signed by Bob, travelling
+// back down the chain from Bob towards Alice.
+type MsgCert struct {
+	Cert sig.PaymentCert
+}
+
+// Describe implements netsim.Message.
+func (m MsgCert) Describe() string { return m.Cert.Describe() }

@@ -1,0 +1,207 @@
+// Package trace records structured execution traces.
+//
+// Every protocol engine in this repository appends trace events as it runs;
+// the property checkers in internal/check and the experiment harness in
+// internal/bench consume these traces. Keeping the trace schema in one place
+// lets the checkers work uniformly across the time-bounded protocol, the
+// weak-liveness protocol, the HTLC baseline and the cross-chain deal
+// protocols.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind identifies the type of a trace event.
+type Kind string
+
+// Trace event kinds. The set is deliberately small and protocol-agnostic.
+const (
+	KindSend       Kind = "send"        // a participant handed a message to the network
+	KindDeliver    Kind = "deliver"     // the network delivered a message
+	KindDrop       Kind = "drop"        // the network (or a Byzantine sender) dropped a message
+	KindState      Kind = "state"       // a participant changed automaton/process state
+	KindTransfer   Kind = "transfer"    // value moved on a ledger
+	KindLock       Kind = "lock"        // value was placed in escrow
+	KindRelease    Kind = "release"     // escrowed value was released to the payee
+	KindRefund     Kind = "refund"      // escrowed value was refunded to the payer
+	KindCert       Kind = "certificate" // a certificate (chi, commit, abort) was issued or received
+	KindPromise    Kind = "promise"     // an escrow promise G(d)/P(a) was issued or received
+	KindTimeout    Kind = "timeout"     // a local-clock timeout fired
+	KindAbort      Kind = "abort"       // a participant decided to abort
+	KindTerminate  Kind = "terminate"   // a participant terminated
+	KindViolation  Kind = "violation"   // a protocol-internal invariant was observed broken
+	KindByzantine  Kind = "byzantine"   // a Byzantine action was performed
+	KindConsensus  Kind = "consensus"   // a consensus-layer event (notary committee)
+	KindDecision   Kind = "decision"    // transaction manager decision (commit/abort)
+	KindAnnotation Kind = "annotation"  // free-form annotation
+)
+
+// Event is a single trace record.
+type Event struct {
+	Seq   int      // sequence number within the trace
+	At    sim.Time // real (virtual) time of the event
+	Local sim.Time // local clock reading of the acting participant, if meaningful
+	Kind  Kind
+	Actor string // participant performing/observing the event
+	Peer  string // counterparty (receiver of a message, payee of a transfer, ...)
+	Label string // protocol-specific label ("$", "chi", "G(d)", state names, ...)
+	Value int64  // value amount for transfers/locks, 0 otherwise
+	Extra string // free-form detail
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%04d %12v [%-11s] %-12s", e.Seq, e.At, e.Kind, e.Actor)
+	if e.Peer != "" {
+		fmt.Fprintf(&b, " -> %-12s", e.Peer)
+	}
+	if e.Label != "" {
+		fmt.Fprintf(&b, " %s", e.Label)
+	}
+	if e.Value != 0 {
+		fmt.Fprintf(&b, " value=%d", e.Value)
+	}
+	if e.Extra != "" {
+		fmt.Fprintf(&b, " (%s)", e.Extra)
+	}
+	return b.String()
+}
+
+// Trace is an append-only sequence of events for one run.
+type Trace struct {
+	events []Event
+	muted  bool
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Mute stops the trace from recording further events (used by large
+// benchmark sweeps where only the final outcome matters).
+func (t *Trace) Mute() { t.muted = true }
+
+// Muted reports whether the trace is muted.
+func (t *Trace) Muted() bool { return t.muted }
+
+// Append adds an event, assigning its sequence number, and returns it.
+func (t *Trace) Append(ev Event) Event {
+	if t.muted {
+		return ev
+	}
+	ev.Seq = len(t.events)
+	t.events = append(t.events, ev)
+	return ev
+}
+
+// Add is a convenience wrapper building an Event from its parts.
+func (t *Trace) Add(at sim.Time, kind Kind, actor, peer, label string) Event {
+	return t.Append(Event{At: at, Kind: kind, Actor: actor, Peer: peer, Label: label})
+}
+
+// AddValue records an event carrying a value amount.
+func (t *Trace) AddValue(at sim.Time, kind Kind, actor, peer, label string, value int64) Event {
+	return t.Append(Event{At: at, Kind: kind, Actor: actor, Peer: peer, Label: label, Value: value})
+}
+
+// Events returns the recorded events in order. The returned slice is the
+// trace's backing storage; callers must not modify it.
+func (t *Trace) Events() []Event { return t.events }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Filter returns the events matching all the non-zero criteria.
+func (t *Trace) Filter(kind Kind, actor string) []Event {
+	var out []Event
+	for _, e := range t.events {
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		if actor != "" && e.Actor != actor {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ByKind returns all events of the given kind.
+func (t *Trace) ByKind(kind Kind) []Event { return t.Filter(kind, "") }
+
+// ByActor returns all events performed by the given actor.
+func (t *Trace) ByActor(actor string) []Event { return t.Filter("", actor) }
+
+// First returns the first event matching kind and actor ("" matches any) and
+// whether one was found.
+func (t *Trace) First(kind Kind, actor string) (Event, bool) {
+	for _, e := range t.events {
+		if (kind == "" || e.Kind == kind) && (actor == "" || e.Actor == actor) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Last returns the last event matching kind and actor ("" matches any) and
+// whether one was found.
+func (t *Trace) Last(kind Kind, actor string) (Event, bool) {
+	for i := len(t.events) - 1; i >= 0; i-- {
+		e := t.events[i]
+		if (kind == "" || e.Kind == kind) && (actor == "" || e.Actor == actor) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Count returns the number of events of the given kind.
+func (t *Trace) Count(kind Kind) int {
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Actors returns the sorted set of actors appearing in the trace.
+func (t *Trace) Actors() []string {
+	set := map[string]bool{}
+	for _, e := range t.events {
+		if e.Actor != "" {
+			set[e.Actor] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the whole trace, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TerminationTime returns the real time of actor's terminate event, or
+// (0,false) if the actor never terminated in this trace.
+func (t *Trace) TerminationTime(actor string) (sim.Time, bool) {
+	if ev, ok := t.Last(KindTerminate, actor); ok {
+		return ev.At, true
+	}
+	return 0, false
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sample() *Trace {
+	tr := New()
+	tr.Add(1*sim.Millisecond, KindSend, "alice", "e0", "$")
+	tr.Add(2*sim.Millisecond, KindDeliver, "e0", "alice", "$")
+	tr.AddValue(3*sim.Millisecond, KindLock, "e0", "alice", "L1", 100)
+	tr.Add(4*sim.Millisecond, KindTerminate, "alice", "", "done")
+	tr.Add(5*sim.Millisecond, KindTerminate, "bob", "", "done")
+	return tr
+}
+
+func TestAppendAssignsSequence(t *testing.T) {
+	tr := sample()
+	if tr.Len() != 5 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	for i, ev := range tr.Events() {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestMute(t *testing.T) {
+	tr := New()
+	tr.Mute()
+	if !tr.Muted() {
+		t.Fatal("Muted() false")
+	}
+	tr.Add(1, KindSend, "a", "b", "x")
+	if tr.Len() != 0 {
+		t.Fatal("muted trace recorded an event")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	tr := sample()
+	if got := len(tr.ByKind(KindTerminate)); got != 2 {
+		t.Fatalf("ByKind %d", got)
+	}
+	if got := len(tr.ByActor("e0")); got != 2 {
+		t.Fatalf("ByActor %d", got)
+	}
+	if got := len(tr.Filter(KindTerminate, "bob")); got != 1 {
+		t.Fatalf("Filter %d", got)
+	}
+	if tr.Count(KindLock) != 1 {
+		t.Fatal("Count wrong")
+	}
+	if got := tr.Actors(); len(got) != 3 || got[0] != "alice" {
+		t.Fatalf("Actors %v", got)
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	tr := sample()
+	if ev, ok := tr.First(KindTerminate, ""); !ok || ev.Actor != "alice" {
+		t.Fatalf("First = %+v", ev)
+	}
+	if ev, ok := tr.Last(KindTerminate, ""); !ok || ev.Actor != "bob" {
+		t.Fatalf("Last = %+v", ev)
+	}
+	if _, ok := tr.First(KindAbort, ""); ok {
+		t.Fatal("First found a missing kind")
+	}
+	if at, ok := tr.TerminationTime("alice"); !ok || at != 4*sim.Millisecond {
+		t.Fatalf("TerminationTime = %v, %v", at, ok)
+	}
+	if _, ok := tr.TerminationTime("nobody"); ok {
+		t.Fatal("TerminationTime found a missing actor")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	tr := sample()
+	out := tr.String()
+	if !strings.Contains(out, "alice") || !strings.Contains(out, "value=100") {
+		t.Fatalf("rendering incomplete:\n%s", out)
+	}
+	ev := Event{Seq: 1, At: 1, Kind: KindCert, Actor: "x", Peer: "y", Label: "chi", Extra: "detail"}
+	if s := ev.String(); !strings.Contains(s, "chi") || !strings.Contains(s, "detail") {
+		t.Fatalf("event rendering %q", s)
+	}
+}

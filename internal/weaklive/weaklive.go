@@ -1,0 +1,324 @@
+// Package weaklive implements the cross-chain payment protocol with weak
+// liveness guarantees of Theorem 3 (Definition 2).
+//
+// Theorem 2 shows that under partial synchrony no protocol can combine the
+// liveness of Definition 1 with its safety properties. The paper therefore
+// weakens liveness: "we present a protocol in which each customer can, at
+// any moment of their choice, lose patience and abort the transaction,
+// without a risk of losing value. In case none of them exercises this option
+// nor fails, a successful outcome is guaranteed. This solution involves an
+// external transaction manager, that can issue an abort or commit
+// certificate."
+//
+// The protocol here follows that sketch:
+//
+//   - each customer places the agreed value in escrow with her downstream
+//     escrow; the escrow reports "prepared" to the transaction manager;
+//   - when every escrow has reported, the manager issues a commit
+//     certificate; each escrow then completes its transfer downstream;
+//   - a customer who loses patience asks the manager to abort; if the
+//     manager has not committed yet it issues an abort certificate and every
+//     escrow refunds;
+//   - certificate consistency (CC) — never both certificates — is exactly
+//     the agreement property of the transaction manager, which internal/notary
+//     provides either as a single trusted party or as a BFT notary committee.
+//
+// The escrows never act on their own timeouts, which is why the protocol
+// tolerates partial synchrony: safety never depends on a deadline, and
+// liveness is conditional on the customers' patience (property L of
+// Definition 2).
+package weaklive
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/netsim"
+	"repro/internal/notary"
+	"repro/internal/sig"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ManagerKind selects the transaction-manager realisation.
+type ManagerKind int
+
+// Manager kinds.
+const (
+	// ManagerTrusted is a single external party trusted by all.
+	ManagerTrusted ManagerKind = iota
+	// ManagerCommittee is a committee of notaries, less than one-third of
+	// which is assumed unreliable, running a partially synchronous consensus.
+	ManagerCommittee
+)
+
+// String implements fmt.Stringer.
+func (k ManagerKind) String() string {
+	if k == ManagerCommittee {
+		return "committee"
+	}
+	return "trusted"
+}
+
+// Protocol is the weak-liveness cross-chain payment protocol. It implements
+// core.Protocol.
+type Protocol struct {
+	// Manager selects the transaction-manager realisation.
+	Manager ManagerKind
+	// CommitteeSize is the number of notaries when Manager is
+	// ManagerCommittee (3f+1 tolerates f faults). Zero defaults to 4.
+	CommitteeSize int
+}
+
+// New returns the protocol with a single trusted transaction manager.
+func New() *Protocol { return &Protocol{Manager: ManagerTrusted} }
+
+// NewCommittee returns the protocol with a notary committee of the given
+// size as transaction manager.
+func NewCommittee(size int) *Protocol {
+	return &Protocol{Manager: ManagerCommittee, CommitteeSize: size}
+}
+
+// Name implements core.Protocol.
+func (p *Protocol) Name() string {
+	if p.Manager == ManagerCommittee {
+		return fmt.Sprintf("weaklive-committee-%d", p.committeeSize())
+	}
+	return "weaklive-trusted"
+}
+
+func (p *Protocol) committeeSize() int {
+	if p.CommitteeSize <= 0 {
+		return 4
+	}
+	return p.CommitteeSize
+}
+
+// defaultMaxEvents caps a run's event count as a runaway guard.
+const defaultMaxEvents = 2_000_000
+
+// Run implements core.Protocol.
+func (p *Protocol) Run(s core.Scenario) (*core.RunResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("weaklive: %w", err)
+	}
+	eng := sim.NewEngine(s.Seed)
+	tr := trace.New()
+	if s.MuteTrace {
+		tr.Mute()
+	}
+	net := netsim.New(eng, s.Network, tr)
+	topo := s.Topology
+
+	keySeed := fmt.Sprintf("seed-%d", s.Seed)
+	kr := sig.NewKeyring(keySeed, topo.Participants())
+
+	book := ledger.NewBook()
+	for i := 0; i < topo.N; i++ {
+		led := ledger.New(core.EscrowID(i))
+		if err := led.CreateAccount(core.EscrowID(i)); err != nil {
+			return nil, err
+		}
+		for _, cust := range []string{topo.UpstreamCustomer(i), topo.DownstreamCustomer(i)} {
+			if err := led.CreateAccount(cust); err != nil {
+				return nil, err
+			}
+			if err := led.Mint(0, cust, s.InitialBalance); err != nil {
+				return nil, err
+			}
+		}
+		book.Add(led)
+	}
+
+	clocks := make(map[string]*clock.Clock, len(topo.Participants()))
+	rng := eng.Rand()
+	for _, id := range topo.Participants() {
+		rho := clock.Drift(0)
+		var offset sim.Time
+		if s.Timing.Clock.MaxRho > 0 {
+			rho = clock.Drift((2*rng.Float64() - 1) * float64(s.Timing.Clock.MaxRho))
+		}
+		if s.Timing.Clock.MaxOffset > 0 {
+			offset = sim.Time(rng.Int63n(int64(2*s.Timing.Clock.MaxOffset+1))) - s.Timing.Clock.MaxOffset
+		}
+		clocks[id] = clock.New(eng, rho, offset)
+	}
+
+	deps := notary.Deps{
+		Net:        net,
+		Eng:        eng,
+		Kr:         kr,
+		Tr:         tr,
+		PaymentID:  s.Spec.PaymentID,
+		NumEscrows: topo.N,
+		Recipients: topo.Participants(),
+		Timing:     s.Timing,
+		FaultOf:    func(id string) core.FaultSpec { return s.FaultOf(id) },
+		KeySeed:    keySeed,
+	}
+	var mgr notary.Manager
+	if p.Manager == ManagerCommittee {
+		mgr = notary.NewCommittee(deps, p.committeeSize())
+	} else {
+		mgr = notary.NewTrusted(deps)
+	}
+
+	run := &runState{
+		scn:          s,
+		eng:          eng,
+		net:          net,
+		tr:           tr,
+		book:         book,
+		kr:           kr,
+		clocks:       clocks,
+		mgr:          mgr,
+		wealthBefore: book.SnapshotWealth(),
+	}
+	run.build()
+	run.start()
+
+	maxEvents := s.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = defaultMaxEvents
+	}
+	_, fired := eng.Run(maxEvents)
+	return run.collect(p.Name(), fired), nil
+}
+
+// runState holds one run's participants and substrate handles.
+type runState struct {
+	scn    core.Scenario
+	eng    *sim.Engine
+	net    *netsim.Network
+	tr     *trace.Trace
+	book   *ledger.Book
+	kr     *sig.Keyring
+	clocks map[string]*clock.Clock
+	mgr    notary.Manager
+
+	escrows   map[string]*escrowProc
+	customers map[string]*customerProc
+
+	wealthBefore map[string]int64
+}
+
+func (r *runState) build() {
+	topo := r.scn.Topology
+	r.escrows = map[string]*escrowProc{}
+	r.customers = map[string]*customerProc{}
+	for i := 0; i < topo.N; i++ {
+		esc := newEscrowProc(r, i)
+		r.escrows[esc.id] = esc
+		r.net.Register(esc)
+	}
+	for i := 0; i <= topo.N; i++ {
+		cust := newCustomerProc(r, i)
+		r.customers[cust.id] = cust
+		r.net.Register(cust)
+	}
+}
+
+func (r *runState) start() {
+	topo := r.scn.Topology
+	for _, id := range topo.Escrows() {
+		r.escrows[id].start()
+	}
+	for _, id := range topo.Customers() {
+		r.customers[id].start()
+	}
+	for _, id := range topo.Participants() {
+		f := r.scn.FaultOf(id)
+		if !f.Crash {
+			continue
+		}
+		id := id
+		r.eng.ScheduleAt(f.CrashAt, "crash:"+id, func() {
+			if esc, ok := r.escrows[id]; ok {
+				esc.crashed = true
+			}
+			if cust, ok := r.customers[id]; ok {
+				cust.crashed = true
+			}
+			r.tr.Add(r.eng.Now(), trace.KindByzantine, id, "", "crash")
+		})
+	}
+}
+
+// procDelay draws an honest participant's processing delay for one action.
+func (r *runState) procDelay() sim.Time {
+	maxP := r.scn.Timing.MaxProcessing
+	if maxP <= 0 {
+		return 0
+	}
+	return sim.Time(r.eng.Rand().Int63n(int64(maxP + 1)))
+}
+
+func (r *runState) actionDelay(id string) sim.Time {
+	return r.procDelay() + r.scn.FaultOf(id).DelayActions
+}
+
+func (r *runState) lockID(i int) string {
+	return fmt.Sprintf("%s/%s", r.scn.Spec.PaymentID, core.EscrowID(i))
+}
+
+func (r *runState) collect(protocolName string, fired uint64) *core.RunResult {
+	topo := r.scn.Topology
+	res := &core.RunResult{
+		Protocol:    protocolName,
+		Scenario:    r.scn,
+		Trace:       r.tr,
+		Book:        r.book,
+		Customers:   map[string]core.CustomerOutcome{},
+		Escrows:     map[string]core.EscrowOutcome{},
+		NetStats:    r.net.Stats(),
+		EventsFired: fired,
+	}
+	wealthAfter := r.book.SnapshotWealth()
+	allTerm := true
+	var lastTerm sim.Time
+	for _, id := range topo.Customers() {
+		c := r.customers[id]
+		out := core.CustomerOutcome{
+			ID:              id,
+			Role:            topo.RoleOf(id),
+			Terminated:      c.term,
+			TerminatedAt:    c.termAt,
+			WealthBefore:    r.wealthBefore[id],
+			WealthAfter:     wealthAfter[id],
+			PaidOut:         c.paid,
+			Received:        c.credited,
+			HoldsCommitCert: c.hasCommit,
+			HoldsAbortCert:  c.hasAbort,
+			Aborted:         c.requestedAbort,
+		}
+		if out.Terminated && out.TerminatedAt > lastTerm {
+			lastTerm = out.TerminatedAt
+		}
+		if !r.scn.FaultOf(id).IsByzantine() && !out.Terminated {
+			allTerm = false
+		}
+		res.Customers[id] = out
+	}
+	for _, id := range topo.Escrows() {
+		led := r.book.MustGet(id)
+		res.Escrows[id] = core.EscrowOutcome{
+			ID:           id,
+			BalanceDelta: led.Balance(id),
+			PendingLocks: len(led.PendingLocks()),
+			AuditErr:     led.Audit(),
+		}
+	}
+	bob := res.Customers[topo.Bob()]
+	res.BobPaid = bob.Received > 0 || bob.NetWealthChange() > 0
+	res.AllTerminated = allTerm
+	res.CommitIssued = r.mgr.CommitIssued()
+	res.AbortIssued = r.mgr.AbortIssued()
+	if lastTerm > 0 {
+		res.Duration = lastTerm
+	} else {
+		res.Duration = r.eng.Now()
+	}
+	return res
+}

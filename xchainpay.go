@@ -1,0 +1,148 @@
+// Package xchainpay is the public facade of this reproduction of
+// "Feasibility of Cross-Chain Payment with Success Guarantees" (van
+// Glabbeek, Gramoli, Tholoniat; SPAA 2020).
+//
+// It exposes, behind a small API, everything a user needs to set up a
+// cross-chain payment scenario on the Fig. 1 topology (Alice, connectors,
+// Bob, and one escrow per adjacent pair), pick a protocol and a network
+// timing model, execute the payment deterministically on the built-in
+// discrete-event simulator, and check the outcome against the correctness
+// properties of the paper's Definitions 1 and 2:
+//
+//	s := xchainpay.NewScenario(3, 42) // 3 escrows, RNG seed 42
+//	res, err := xchainpay.TimeBounded().Run(s)
+//	report := xchainpay.CheckTimeBounded(res, xchainpay.TimeBounded().ParamsFor(s).Bound)
+//	fmt.Print(report)
+//
+// Four protocol families are provided:
+//
+//   - TimeBounded / TimeBoundedANTA / TimeBoundedNaive — the paper's primary
+//     contribution (Theorem 1, Figure 2): the Interledger universal protocol
+//     fine-tuned for clock drift, as plain processes or as the Figure-2
+//     timed automata, plus the drift-unaware ablation.
+//   - WeakLiveness / WeakLivenessCommittee — the Theorem-3 protocol with an
+//     external transaction manager (a single trusted party or a BFT notary
+//     committee) that tolerates partial synchrony.
+//   - HTLCBaseline — the hashed-timelock chain the related work relies on.
+//   - The cross-chain deal protocols of Herlihy et al. live in
+//     internal/deals and are reached through the experiment harness (E6).
+//
+// The experiment harness regenerating every artefact of the paper is in
+// internal/bench and is exposed through cmd/xchain-bench and the root-level
+// benchmarks in bench_test.go.
+package xchainpay
+
+import (
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/htlc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/timelock"
+	"repro/internal/weaklive"
+)
+
+// Re-exported model types. The underlying definitions live in internal/core;
+// the aliases make the public API self-contained for downstream users.
+type (
+	// Scenario fully describes one protocol run: topology, payment, timing
+	// assumptions, network model, faults, patience and seed.
+	Scenario = core.Scenario
+	// Topology is the Fig. 1 chain of customers and escrows.
+	Topology = core.Topology
+	// PaymentSpec fixes the agreed per-hop amounts.
+	PaymentSpec = core.PaymentSpec
+	// Timing bundles the synchrony parameters protocols are configured with.
+	Timing = core.Timing
+	// FaultSpec describes how a Byzantine participant deviates.
+	FaultSpec = core.FaultSpec
+	// Protocol is the common interface of all payment protocols.
+	Protocol = core.Protocol
+	// RunResult is the full record of one protocol execution.
+	RunResult = core.RunResult
+	// CustomerOutcome is one customer's view of the outcome.
+	CustomerOutcome = core.CustomerOutcome
+	// Property identifies one correctness property of Definitions 1 and 2.
+	Property = core.Property
+	// Report carries one verdict per property for a run.
+	Report = check.Report
+	// Time is simulated time in microseconds.
+	Time = sim.Time
+)
+
+// Time units, re-exported for scenario construction.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+)
+
+// NewScenario returns a ready-to-run scenario for a chain with n escrows
+// (n+1 customers), a synchronous network at the default timing, a
+// commissioned payment to Bob, and no faults. Adjust it with the
+// With*/Set* methods of Scenario before running.
+func NewScenario(n int, seed int64) Scenario { return core.NewScenario(n, seed) }
+
+// NewTopology returns the Fig. 1 topology with n escrows.
+func NewTopology(n int) Topology { return core.NewTopology(n) }
+
+// DefaultTiming returns the timing assumptions used across the experiments.
+func DefaultTiming() Timing { return core.DefaultTiming() }
+
+// Synchronous returns the Theorem-1 network model: every message is
+// delivered within the bound delta.
+func Synchronous(delta Time) netsim.DelayModel {
+	return netsim.Synchronous{Min: 1 * sim.Millisecond, Max: delta}
+}
+
+// PartiallySynchronous returns the Theorem-2/3 network model: messages may
+// be delayed arbitrarily (up to maxPreGST) before the global stabilisation
+// time gst and respect delta afterwards.
+func PartiallySynchronous(gst, delta, maxPreGST Time) netsim.DelayModel {
+	return netsim.PartialSynchrony{GST: gst, Delta: delta, MaxPreGST: maxPreGST}
+}
+
+// TimeBounded returns the paper's time-bounded protocol (Theorem 1, Fig. 2):
+// the Interledger universal protocol fine-tuned for clock drift, executed by
+// the process engine.
+func TimeBounded() *timelock.Protocol { return timelock.New() }
+
+// TimeBoundedANTA returns the same protocol executed as the Figure-2 timed
+// automata on the generic ANTA interpreter.
+func TimeBoundedANTA() *timelock.Protocol { return timelock.NewANTA() }
+
+// TimeBoundedNaive returns the drift-unaware ablation (the plain Interledger
+// universal protocol), used by ablation A1.
+func TimeBoundedNaive() *timelock.Protocol { return timelock.NewNaive() }
+
+// WeakLiveness returns the Theorem-3 protocol with a single trusted
+// transaction manager.
+func WeakLiveness() *weaklive.Protocol { return weaklive.New() }
+
+// WeakLivenessCommittee returns the Theorem-3 protocol with a notary
+// committee of the given size (3f+1 tolerates f unreliable notaries) as
+// transaction manager.
+func WeakLivenessCommittee(size int) *weaklive.Protocol { return weaklive.NewCommittee(size) }
+
+// HTLCBaseline returns the hashed-timelock baseline protocol.
+func HTLCBaseline() *htlc.Protocol { return htlc.New() }
+
+// CheckTimeBounded evaluates a run against Definition 1 in its time-bounded
+// variant: termination must happen within bound.
+func CheckTimeBounded(res *RunResult, bound Time) Report {
+	return check.Evaluate(res, check.Def1TimeBounded(bound))
+}
+
+// CheckEventual evaluates a run against Definition 1 with eventual (rather
+// than time-bounded) termination.
+func CheckEventual(res *RunResult) Report {
+	return check.Evaluate(res, check.Def1Eventual())
+}
+
+// CheckWeakLiveness evaluates a run against Definition 2; patience is the
+// minimum patience every customer must have for the weak-liveness property
+// to be owed.
+func CheckWeakLiveness(res *RunResult, patience Time) Report {
+	return check.Evaluate(res, check.Def2(patience))
+}
