@@ -67,6 +67,9 @@ func BenchmarkE7_BaselineComparison(b *testing.B) { runExperiment(b, "E7") }
 // BenchmarkE8_CostScaling regenerates the protocol cost-scaling table.
 func BenchmarkE8_CostScaling(b *testing.B) { runExperiment(b, "E8") }
 
+// BenchmarkE9_Traffic regenerates the concurrent-traffic table.
+func BenchmarkE9_Traffic(b *testing.B) { runExperiment(b, "E9") }
+
 // BenchmarkA1_DriftAblation regenerates the clock-drift fine-tuning ablation.
 func BenchmarkA1_DriftAblation(b *testing.B) { runExperiment(b, "A1") }
 
@@ -119,3 +122,37 @@ func BenchmarkProtocolWeakLivenessCommittee_n4(b *testing.B) {
 
 // BenchmarkProtocolHTLC_n4 measures one hashed-timelock payment.
 func BenchmarkProtocolHTLC_n4(b *testing.B) { benchProtocol(b, HTLCBaseline(), 4) }
+
+// Traffic-engine benchmarks: 1,000 concurrent payments multiplexed over an
+// 8-hop chain, serial versus worker-pool execution. Comparing the two
+// ns/op figures measures the parallel runner's speedup (bounded by the
+// machine's core count; equal on a single core); the results themselves
+// are identical by construction (see TestTrafficFacade and the determinism
+// test in internal/traffic).
+
+func benchTraffic(b *testing.B, workers int) {
+	b.Helper()
+	s := NewScenario(8, 42)
+	w := NewWorkload(1000)
+	w.Arrival.Rate = 500
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := RunTrafficWith(s, w, TrafficConfig{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Succeeded == 0 {
+			b.Fatal("no payment succeeded")
+		}
+		if res.AuditErr != nil {
+			b.Fatalf("ledger audit failed: %v", res.AuditErr)
+		}
+	}
+}
+
+// BenchmarkTraffic1kPayments runs the workload with one worker per CPU.
+func BenchmarkTraffic1kPayments(b *testing.B) { benchTraffic(b, 0) }
+
+// BenchmarkTraffic1kPaymentsSerial is the single-worker baseline the
+// parallel figure is compared against.
+func BenchmarkTraffic1kPaymentsSerial(b *testing.B) { benchTraffic(b, 1) }

@@ -1,17 +1,19 @@
-// Command xchain-bench runs the experiment suite (E1..E8, A1..A3) and prints
+// Command xchain-bench runs the experiment suite (E1..E9, A1..A3) and prints
 // the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
 //	xchain-bench              # run every experiment at the full configuration
 //	xchain-bench -quick       # smaller sweep (seconds instead of minutes)
-//	xchain-bench -run E4,E7   # run a subset by ID
+//	xchain-bench -run E4,E9   # run a subset by ID
 //	xchain-bench -runs 10 -maxchain 6
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,14 +22,25 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xchain-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		quick    = flag.Bool("quick", false, "use the quick (test-sized) configuration")
-		runs     = flag.Int("runs", 0, "override the number of seeds per experiment cell")
-		maxChain = flag.Int("maxchain", 0, "override the largest chain length swept")
-		workers  = flag.Int("workers", 0, "override the worker-pool size (default GOMAXPROCS)")
-		only     = flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+		quick    = fs.Bool("quick", false, "use the quick (test-sized) configuration")
+		runs     = fs.Int("runs", 0, "override the number of seeds per experiment cell")
+		maxChain = fs.Int("maxchain", 0, "override the largest chain length swept")
+		workers  = fs.Int("workers", 0, "override the worker-pool size (default GOMAXPROCS)")
+		only     = fs.String("run", "", "comma-separated experiment IDs to run (default: all)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := bench.Full()
 	if *quick {
@@ -49,19 +62,20 @@ func main() {
 		for _, id := range strings.Split(*only, ",") {
 			e, ok := bench.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "xchain-bench: unknown experiment %q\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "xchain-bench: unknown experiment %q\n", id)
+				return 2
 			}
 			selected = append(selected, e)
 		}
 		experiments = selected
 	}
 
-	fmt.Printf("configuration: runs=%d maxchain=%d\n\n", cfg.Runs, cfg.MaxChain)
+	fmt.Fprintf(stdout, "configuration: runs=%d maxchain=%d\n\n", cfg.Runs, cfg.MaxChain)
 	for _, e := range experiments {
 		start := time.Now()
 		tab := e.Run(cfg)
-		fmt.Print(tab.String())
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(stdout, tab.String())
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,14 +24,25 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xchain-check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n     = flag.Int("n", 3, "chain length for the safety audit")
-		seeds = flag.Int("seeds", 5, "seeds per fault assignment")
+		n     = fs.Int("n", 3, "chain length for the safety audit")
+		seeds = fs.Int("seeds", 5, "seeds per fault assignment")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	failed := false
 
-	fmt.Printf("=== safety audit: Definition 1 under synchrony, every single- and pair-fault assignment (n=%d) ===\n", *n)
+	fmt.Fprintf(stdout, "=== safety audit: Definition 1 under synchrony, every single- and pair-fault assignment (n=%d) ===\n", *n)
 	p := timelock.New()
 	summary := check.NewSummary()
 	assignments := adversary.SingleFaultAssignments(core.NewTopology(*n))
@@ -39,22 +52,22 @@ func main() {
 			s := a.Apply(core.NewScenario(*n, seed)).Muted()
 			res, err := p.Run(s)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "run error (%s): %v\n", a.Describe(), err)
+				fmt.Fprintf(stderr, "run error (%s): %v\n", a.Describe(), err)
 				failed = true
 				continue
 			}
 			summary.Add(check.Evaluate(res, check.Def1TimeBounded(p.ParamsFor(s).Bound)))
 		}
 	}
-	fmt.Print(summary.String())
+	fmt.Fprint(stdout, summary.String())
 	if summary.Clean() {
-		fmt.Printf("clean: no property violated across %d runs\n\n", summary.Total)
+		fmt.Fprintf(stdout, "clean: no property violated across %d runs\n\n", summary.Total)
 	} else {
-		fmt.Printf("VIOLATIONS: %v (examples: %v)\n\n", summary.ViolatedProperties(), summary.FailureExamples)
+		fmt.Fprintf(stdout, "VIOLATIONS: %v (examples: %v)\n\n", summary.ViolatedProperties(), summary.FailureExamples)
 		failed = true
 	}
 
-	fmt.Println("=== impossibility exploration: Theorem 2 under partial synchrony ===")
+	fmt.Fprintln(stdout, "=== impossibility exploration: Theorem 2 under partial synchrony ===")
 	opts := explore.DefaultOptions()
 	opts.N = *n
 	findings := explore.SearchImpossibility(opts)
@@ -67,28 +80,29 @@ func main() {
 		if label == "" {
 			label = "(survived)"
 		}
-		fmt.Printf("%-20s vs %-20s -> %s\n", f.Candidate, f.Attack, label)
+		fmt.Fprintf(stdout, "%-20s vs %-20s -> %s\n", f.Candidate, f.Attack, label)
 	}
 	if err := explore.VerifyTheorem2(findings); err != nil {
-		fmt.Printf("THEOREM 2 NOT REPRODUCED: %v\n", err)
+		fmt.Fprintf(stdout, "THEOREM 2 NOT REPRODUCED: %v\n", err)
 		failed = true
 	} else {
-		fmt.Println("reproduced: every candidate protocol fails Definition 1 under some partial-synchrony attack")
+		fmt.Fprintln(stdout, "reproduced: every candidate protocol fails Definition 1 under some partial-synchrony attack")
 	}
 	control, err := explore.ControlUnderSynchrony(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "control error: %v\n", err)
+		fmt.Fprintf(stderr, "control error: %v\n", err)
 		failed = true
 	} else {
 		for cand, ok := range control {
 			if !ok {
-				fmt.Printf("control FAILED: %s violates Definition 1 even under synchrony\n", cand)
+				fmt.Fprintf(stdout, "control FAILED: %s violates Definition 1 even under synchrony\n", cand)
 				failed = true
 			}
 		}
 	}
 
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

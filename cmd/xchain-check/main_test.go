@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunReproducesClaims(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-n", "2", "-seeds", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	for _, want := range []string{
+		"clean: no property violated",
+		"reproduced: every candidate protocol fails Definition 1",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag accepted (exit %d)", code)
+	}
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h should print usage and exit 0 (exit %d)", code)
+	}
+}

@@ -1,0 +1,168 @@
+// Command xchain-traffic generates a concurrent multi-payment workload and
+// executes it against one shared Fig. 1 escrow chain, printing success
+// rate, throughput, latency percentiles and the liquidity-ledger audit.
+//
+// Usage:
+//
+//	xchain-traffic [flags]
+//
+//	-n 8               number of escrows (chain length)
+//	-seed 42           RNG seed (the whole run is deterministic in it)
+//	-payments 1000     number of payments
+//	-arrival poisson   arrival process: poisson, uniform, burst
+//	-rate 500          mean arrival rate (payments per simulated second)
+//	-burst 25          burst size (arrival=burst)
+//	-burst-gap 2s      gap between bursts (arrival=burst)
+//	-amount 100        central payment size
+//	-amount-dist fixed amount distribution: fixed, uniform, exponential
+//	-spread 0          half-width of the uniform amount distribution
+//	-commission 1      per-hop connector commission
+//	-mix timelock=1    comma-separated protocol=weight pairs
+//	-subpaths          route payments between random customer pairs
+//	-hotspot 0         hot sender index (with -subpaths)
+//	-hotspot-frac 0    fraction of payments from the hot sender
+//	-liquidity 0       per-account escrow endowment (0 = auto-size: never binds)
+//	-queue 0s          admission-queue patience for blocked payments
+//	-max-queue 0       queued-payment cap (0 = unbounded)
+//	-fault c1=silent   comma-separated participant=behaviour pairs
+//	-workers 0         worker-pool size (0 = one per CPU; results identical)
+//	-sweep-seeds 0     additionally sweep this many seeds in parallel
+//	-v                 print one line per payment
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	xchainpay "repro"
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xchain-traffic", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n           = fs.Int("n", 8, "number of escrows in the chain")
+		seed        = fs.Int64("seed", 42, "RNG seed")
+		payments    = fs.Int("payments", 1000, "number of payments")
+		arrival     = fs.String("arrival", "poisson", "arrival process: poisson, uniform, burst")
+		rate        = fs.Float64("rate", 500, "mean arrival rate (payments per simulated second)")
+		burst       = fs.Int("burst", 25, "burst size for -arrival burst")
+		burstGap    = fs.Duration("burst-gap", 2*time.Second, "gap between bursts for -arrival burst")
+		amount      = fs.Int64("amount", 100, "central payment size")
+		amountDist  = fs.String("amount-dist", "fixed", "amount distribution: fixed, uniform, exponential")
+		spread      = fs.Int64("spread", 0, "half-width of the uniform amount distribution")
+		commission  = fs.Int64("commission", 1, "per-hop connector commission")
+		mix         = fs.String("mix", "timelock=1", "comma-separated protocol=weight pairs")
+		subpaths    = fs.Bool("subpaths", false, "route payments between random customer pairs")
+		hotspot     = fs.Int("hotspot", 0, "hot sender index (with -subpaths)")
+		hotspotFrac = fs.Float64("hotspot-frac", 0, "fraction of payments from the hot sender")
+		liquidity   = fs.Int64("liquidity", 0, "per-account escrow endowment (0 = auto-sized)")
+		queue       = fs.Duration("queue", 0, "admission-queue patience for blocked payments")
+		maxQueue    = fs.Int("max-queue", 0, "queued-payment cap (0 = unbounded)")
+		faults      = fs.String("fault", "", "comma-separated participant=behaviour pairs, e.g. c1=silent")
+		workers     = fs.Int("workers", 0, "worker-pool size (0 = one per CPU)")
+		sweepSeeds  = fs.Int("sweep-seeds", 0, "additionally sweep this many seeds in parallel")
+		verbose     = fs.Bool("v", false, "print one line per payment")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	s := xchainpay.NewScenario(*n, *seed)
+	if *faults != "" {
+		for _, pair := range strings.Split(*faults, ",") {
+			parts := strings.SplitN(pair, "=", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(stderr, "xchain-traffic: malformed -fault entry %q (want participant=behaviour)\n", pair)
+				return 2
+			}
+			s = s.SetFault(parts[0], adversary.Spec(adversary.Behaviour(parts[1]), s.Timing))
+		}
+	}
+
+	w := xchainpay.NewWorkload(*payments)
+	// The kind names are the flag strings; unknown values are rejected by
+	// Workload.Validate rather than silently coerced.
+	w.Arrival.Kind = xchainpay.ArrivalKind(*arrival)
+	w.Arrival.Rate = *rate
+	w.Arrival.BurstSize = *burst
+	w.Arrival.BurstGap = durToSim(*burstGap)
+	w.Amounts.Kind = xchainpay.AmountKind(*amountDist)
+	w.Amounts.Base = *amount
+	w.Amounts.Spread = *spread
+	w.Commission = *commission
+	w.RandomSubPaths = *subpaths
+	w.HotspotSender = *hotspot
+	w.HotspotFraction = *hotspotFrac
+	w.Liquidity = *liquidity
+	w.QueuePatience = durToSim(*queue)
+	w.MaxQueue = *maxQueue
+	if *mix != "" {
+		w.Mix = nil
+		for _, pair := range strings.Split(*mix, ",") {
+			parts := strings.SplitN(pair, "=", 2)
+			weight := 1.0
+			if len(parts) == 2 {
+				var err error
+				weight, err = strconv.ParseFloat(parts[1], 64)
+				if err != nil {
+					fmt.Fprintf(stderr, "xchain-traffic: malformed -mix entry %q: %v\n", pair, err)
+					return 2
+				}
+			}
+			w.Mix = append(w.Mix, xchainpay.ProtocolShare{Name: parts[0], Weight: weight})
+		}
+	}
+
+	cfg := xchainpay.TrafficConfig{Workers: *workers}
+	if *sweepSeeds > 1 {
+		seeds := make([]int64, *sweepSeeds)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		points := xchainpay.SeedSweepTraffic(s, w, seeds)
+		for _, o := range xchainpay.SweepTraffic(points, cfg) {
+			if o.Err != nil {
+				fmt.Fprintf(stderr, "xchain-traffic: %s: %v\n", o.Point.Label, o.Err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "=== %s ===\n%s", o.Point.Label, o.Result)
+			if o.Result.AuditErr != nil {
+				return 1
+			}
+		}
+		return 0
+	}
+
+	res, err := xchainpay.RunTrafficWith(s, w, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "xchain-traffic: %v\n", err)
+		return 1
+	}
+	if *verbose {
+		fmt.Fprint(stdout, res.PaymentTable())
+	}
+	fmt.Fprint(stdout, res.String())
+	if res.AuditErr != nil || res.PendingLocks != 0 {
+		fmt.Fprintf(stderr, "xchain-traffic: liquidity ledgers inconsistent after the run\n")
+		return 1
+	}
+	return 0
+}
+
+func durToSim(d time.Duration) sim.Time { return sim.Time(d / time.Microsecond) }

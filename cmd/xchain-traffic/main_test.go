@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallWorkload(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-n", "3", "-payments", "40", "-rate", "200", "-mix", "timelock=0.5,htlc=0.5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"traffic: 40 payments over 3 escrows", "audit=ok", "pending-locks=0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunStarvedQueueVerbose(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-n", "3", "-payments", "30", "-arrival", "burst", "-burst", "15",
+		"-liquidity", "450", "-queue", "3s", "-v",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "dropped=") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "p00000-c0-c3") {
+		t.Errorf("-v payment table missing:\n%s", out.String())
+	}
+}
+
+func TestRunSeedSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-n", "2", "-payments", "20", "-sweep-seeds", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if got := strings.Count(out.String(), "=== n=2 seed="); got != 3 {
+		t.Errorf("expected 3 sweep cells, saw %d:\n%s", got, out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag accepted (exit %d)", code)
+	}
+	if code := run([]string{"-mix", "timelock=abc"}, &out, &errOut); code != 2 {
+		t.Errorf("malformed mix accepted (exit %d)", code)
+	}
+	if code := run([]string{"-fault", "nonsense"}, &out, &errOut); code != 2 {
+		t.Errorf("malformed fault accepted (exit %d)", code)
+	}
+	if code := run([]string{"-mix", "no-such-protocol=1"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown protocol in mix should fail the run (exit %d)", code)
+	}
+	if code := run([]string{"-arrival", "brust"}, &out, &errOut); code != 1 {
+		t.Errorf("misspelled arrival kind should fail the run, not be coerced (exit %d)", code)
+	}
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h should print usage and exit 0 (exit %d)", code)
+	}
+}

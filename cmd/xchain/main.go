@@ -18,8 +18,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -31,18 +33,33 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xchain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n         = flag.Int("n", 3, "number of escrows in the chain")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-		protoName = flag.String("protocol", "timelock", "protocol: timelock, timelock-anta, timelock-naive, weaklive, weaklive-committee, htlc")
-		committee = flag.Int("committee", 4, "committee size for weaklive-committee")
-		network   = flag.String("network", "sync", "network model: sync or partial")
-		gst       = flag.Duration("gst", 500*time.Millisecond, "global stabilisation time for -network partial")
-		patience  = flag.Duration("patience", 30*time.Second, "customer patience (weak-liveness protocols)")
-		faults    = flag.String("fault", "", "comma-separated participant=behaviour pairs, e.g. c1=silent,e0=theft")
-		showTrace = flag.Bool("trace", false, "print the full event trace")
+		n         = fs.Int("n", 3, "number of escrows in the chain")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		protoName = fs.String("protocol", "timelock", "protocol: timelock, timelock-anta, timelock-naive, weaklive, weaklive-committee, htlc")
+		committee = fs.Int("committee", 4, "committee size for weaklive-committee")
+		network   = fs.String("network", "sync", "network model: sync or partial")
+		gst       = fs.Duration("gst", 500*time.Millisecond, "global stabilisation time for -network partial")
+		patience  = fs.Duration("patience", 30*time.Second, "customer patience (weak-liveness protocols)")
+		faults    = fs.String("fault", "", "comma-separated participant=behaviour pairs, e.g. c1=silent,e0=theft")
+		showTrace = fs.Bool("trace", false, "print the full event trace")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fatalf := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "xchain: "+format+"\n", args...)
+		return 2
+	}
 
 	s := xchainpay.NewScenario(*n, *seed)
 	timing := s.Timing
@@ -52,7 +69,7 @@ func main() {
 	case "partial":
 		s = s.WithNetwork(xchainpay.PartiallySynchronous(durToSim(*gst), timing.MaxMsgDelay, 4*durToSim(*gst)))
 	default:
-		fatalf("unknown network model %q", *network)
+		return fatalf("unknown network model %q", *network)
 	}
 	for _, id := range s.Topology.Customers() {
 		s = s.SetPatience(id, durToSim(*patience))
@@ -61,7 +78,7 @@ func main() {
 		for _, pair := range strings.Split(*faults, ",") {
 			parts := strings.SplitN(pair, "=", 2)
 			if len(parts) != 2 {
-				fatalf("malformed -fault entry %q (want participant=behaviour)", pair)
+				return fatalf("malformed -fault entry %q (want participant=behaviour)", pair)
 			}
 			s = s.SetFault(parts[0], adversary.Spec(adversary.Behaviour(parts[1]), timing))
 		}
@@ -88,39 +105,36 @@ func main() {
 	case "htlc":
 		protocol, opts = xchainpay.HTLCBaseline(), check.Def1Eventual()
 	default:
-		fatalf("unknown protocol %q", *protoName)
+		return fatalf("unknown protocol %q", *protoName)
 	}
 
 	res, err := protocol.Run(s)
 	if err != nil {
-		fatalf("run failed: %v", err)
+		fmt.Fprintf(stderr, "xchain: run failed: %v\n", err)
+		return 1
 	}
 
 	if *showTrace {
-		fmt.Println("=== trace ===")
-		fmt.Print(res.Trace.String())
+		fmt.Fprintln(stdout, "=== trace ===")
+		fmt.Fprint(stdout, res.Trace.String())
 	}
-	fmt.Printf("=== %s: payment %s over %d escrows (seed %d) ===\n",
+	fmt.Fprintf(stdout, "=== %s: payment %s over %d escrows (seed %d) ===\n",
 		protocol.Name(), s.Spec.PaymentID, s.Topology.N, s.Seed)
-	fmt.Printf("Bob paid: %v   all terminated: %v   duration: %v   messages: %d\n",
+	fmt.Fprintf(stdout, "Bob paid: %v   all terminated: %v   duration: %v   messages: %d\n",
 		res.BobPaid, res.AllTerminated, res.Duration, res.NetStats.Sent)
-	fmt.Println("--- customers ---")
+	fmt.Fprintln(stdout, "--- customers ---")
 	for _, id := range s.Topology.Customers() {
 		out := res.Outcome(id)
-		fmt.Printf("%-4s %-10s net=%+6d terminated=%-5v chi=%-5v commit=%-5v abort=%-5v\n",
+		fmt.Fprintf(stdout, "%-4s %-10s net=%+6d terminated=%-5v chi=%-5v commit=%-5v abort=%-5v\n",
 			id, out.Role, out.NetWealthChange(), out.Terminated, out.HoldsChi, out.HoldsCommitCert, out.HoldsAbortCert)
 	}
-	fmt.Println("--- properties ---")
+	fmt.Fprintln(stdout, "--- properties ---")
 	report := check.Evaluate(res, opts)
-	fmt.Print(report)
+	fmt.Fprint(stdout, report)
 	if !report.AllOK() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func durToSim(d time.Duration) sim.Time { return sim.Time(d / time.Microsecond) }
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "xchain: "+format+"\n", args...)
-	os.Exit(2)
-}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-n", "2", "-seed", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Bob paid: true", "--- properties ---", "PASS"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunProtocolsAndFaults(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-n", "2", "-protocol", "weaklive", "-fault", "c1=silent"}, &out, &errOut)
+	// A silent connector must not break safety; the run may still report
+	// liveness as not owed, so only exit codes 0/1 are acceptable.
+	if code == 2 {
+		t.Fatalf("flag handling failed: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "--- properties ---") {
+		t.Errorf("property report missing:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown protocol accepted (exit %d)", code)
+	}
+	if code := run([]string{"-network", "bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown network accepted (exit %d)", code)
+	}
+	if code := run([]string{"-fault", "nonsense"}, &out, &errOut); code != 2 {
+		t.Errorf("malformed fault accepted (exit %d)", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag accepted (exit %d)", code)
+	}
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h should print usage and exit 0 (exit %d)", code)
+	}
+}

@@ -2,8 +2,9 @@
 // tables, every reproducible artefact of the paper — the Figure-1/2
 // protocol behaviour, the three theorems, the Section-5 comparison with
 // cross-chain deals, the related-work baselines, the cost scaling of all
-// protocols, and the ablations called out in DESIGN.md. Each experiment is
-// addressable by its ID (E1..E8, A1..A3); cmd/xchain-bench prints the
+// protocols, the concurrent-traffic workloads of internal/traffic, and the
+// ablations called out in DESIGN.md. Each experiment is
+// addressable by its ID (E1..E9, A1..A3); cmd/xchain-bench prints the
 // tables, the root-level bench_test.go wraps them as Go benchmarks, and
 // EXPERIMENTS.md records the paper-vs-measured comparison.
 package bench
@@ -136,6 +137,7 @@ func All() []Experiment {
 		{ID: "E6", Title: "Section 5: cross-chain payments vs cross-chain deals", Run: RunE6},
 		{ID: "E7", Title: "Related work: HTLC baseline vs the time-bounded protocol", Run: RunE7},
 		{ID: "E8", Title: "Cost scaling: messages, latency and ledger operations vs chain length", Run: RunE8},
+		{ID: "E9", Title: "Traffic: concurrent multi-payment workloads on a shared escrow chain", Run: RunE9},
 		{ID: "A1", Title: "Ablation: clock-drift fine-tuning of the timeout derivation", Run: RunA1},
 		{ID: "A2", Title: "Ablation: notary committee size and fault threshold", Run: RunA2},
 		{ID: "A3", Title: "Ablation: patience sensitivity of the weak-liveness protocol", Run: RunA3},

@@ -44,8 +44,8 @@ func TestConfigs(t *testing.T) {
 
 func TestByIDAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("expected 11 experiments (E1-E8, A1-A3), got %d", len(all))
+	if len(all) != 12 {
+		t.Fatalf("expected 12 experiments (E1-E9, A1-A3), got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -204,6 +204,37 @@ func TestRunE8CostScaling(t *testing.T) {
 	}
 	if last <= first {
 		t.Errorf("E8: timelock message count does not grow with n (%v -> %v)", first, last)
+	}
+}
+
+func TestRunE9Traffic(t *testing.T) {
+	tab := RunE9(tiny())
+	if len(tab.Rows) < 3 {
+		t.Fatalf("E9 produced %d rows", len(tab.Rows))
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "AUDIT FAILED") {
+			t.Fatalf("E9 ledger audit failed: %s", n)
+		}
+	}
+	open := rowsByFirstCell(tab, "open/ample")
+	if len(open) == 0 {
+		t.Fatal("E9 missing the open/ample regime")
+	}
+	for _, r := range open {
+		if !strings.Contains(r[3], "100.0%") {
+			t.Errorf("E9 open/ample n=%s: success rate %s, want 100%%", r[1], r[3])
+		}
+	}
+	starved := rowsByFirstCell(tab, "burst/starved")
+	for _, r := range starved {
+		var rejected float64
+		if _, err := fmt.Sscan(strings.TrimSuffix(r[4], "%"), &rejected); err != nil {
+			t.Fatalf("cannot parse rejection rate %q", r[4])
+		}
+		if rejected <= 0 {
+			t.Errorf("E9 burst/starved n=%s: no rejections under starved liquidity", r[1])
+		}
 	}
 }
 

@@ -1,0 +1,364 @@
+package traffic
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/htlc"
+	"repro/internal/ledger"
+	"repro/internal/sim"
+	"repro/internal/timelock"
+	"repro/internal/weaklive"
+)
+
+// Config tunes how a traffic run executes; it never changes what the run
+// computes (results are identical for every worker count).
+type Config struct {
+	// Workers bounds the goroutines simulating individual payments. Zero
+	// means runtime.NumCPU(); 1 forces fully serial execution (useful as a
+	// speedup baseline in benchmarks).
+	Workers int
+	// Protocols overrides the protocol registry resolving Workload.Mix
+	// names. Nil uses DefaultProtocols.
+	Protocols map[string]core.Protocol
+}
+
+// workers resolves the worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// DefaultProtocols returns the built-in protocol registry for workload
+// mixes. Each instance is stateless across runs and safe to share between
+// worker goroutines (Run derives all per-run state from the scenario).
+func DefaultProtocols() map[string]core.Protocol {
+	return map[string]core.Protocol{
+		"timelock":           timelock.New(),
+		"timelock-naive":     timelock.NewNaive(),
+		"weaklive":           weaklive.New(),
+		"weaklive-committee": weaklive.NewCommittee(4),
+		"htlc":               htlc.New(),
+	}
+}
+
+// subOutcome is the precomputed result of one payment's own protocol run.
+type subOutcome struct {
+	paid     bool
+	duration sim.Time
+	events   uint64
+	err      error
+}
+
+// Run executes the workload against the scenario's chain with the default
+// configuration (one worker per CPU).
+func Run(s core.Scenario, w Workload) (*Result, error) {
+	return RunWith(s, w, Config{})
+}
+
+// RunWith executes the workload against the scenario's chain.
+//
+// The execution has three deterministic stages:
+//
+//  1. Generation: the payment population (arrivals, routes, sizes,
+//     protocols, private seeds) is derived from (Scenario.Seed, Workload).
+//  2. Simulation: every payment's protocol run executes on the existing
+//     single-run sim engine. Each run is a pure function of its
+//     sub-scenario, so this stage fans out across the worker pool without
+//     affecting results.
+//  3. Admission timeline: a discrete-event simulation replays the arrivals
+//     against the shared escrow chain. Admission reserves each hop's amount
+//     as an escrow lock on the traffic ledger of that hop (payments with
+//     exhausted hops queue or fail), and settlement — at the virtual time
+//     the payment's own run finished — releases the locks downstream on
+//     success or refunds them on failure.
+//
+// The returned Result is byte-identical across runs and worker counts for
+// the same inputs, and its liquidity Book always passes ledger.Audit: locks
+// only move value between reservation and settlement, so no value is
+// conjured or lost no matter how heavy the contention.
+func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
+	if s.Topology.N < 1 {
+		return nil, fmt.Errorf("traffic: scenario topology has no escrows")
+	}
+	if s.Network == nil {
+		return nil, fmt.Errorf("traffic: scenario has no network model")
+	}
+	if err := w.Validate(s.Topology); err != nil {
+		return nil, err
+	}
+	registry := cfg.Protocols
+	if registry == nil {
+		registry = DefaultProtocols()
+	}
+	payments := w.generate(s)
+	for _, p := range payments {
+		if _, ok := registry[p.Protocol]; !ok {
+			return nil, fmt.Errorf("traffic: workload mixes unknown protocol %q", p.Protocol)
+		}
+	}
+
+	subs := simulatePayments(s, payments, registry, cfg.workers())
+	res := &Result{
+		Chain:    s.Topology.N,
+		Seed:     s.Seed,
+		Workload: w,
+		Payments: make([]PaymentResult, len(payments)),
+		Book:     newLiquidityBook(s, w, payments),
+	}
+	for i, p := range payments {
+		res.Payments[i] = PaymentResult{
+			ID:       p.ID,
+			Sender:   p.Sender,
+			Receiver: p.Receiver,
+			Amount:   p.Amounts[len(p.Amounts)-1],
+			Volume:   p.Amounts[0],
+			Hops:     p.hops(),
+			Protocol: p.Protocol,
+			Arrival:  p.Arrival,
+			SubEvents: func() uint64 {
+				if subs[i].err != nil {
+					return 0
+				}
+				return subs[i].events
+			}(),
+		}
+	}
+	runTimeline(res, payments, subs, w)
+	res.finalize()
+	return res, nil
+}
+
+// forEachIndex runs fn(idx) for every idx in [0, n) across a pool of
+// workers goroutines (serially when workers <= 1 or n is small). fn writes
+// into caller-owned, index-disjoint slots, so results are ordered by index
+// no matter which worker finished first.
+func forEachIndex(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for idx := 0; idx < n; idx++ {
+			fn(idx)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				fn(idx)
+			}
+		}()
+	}
+	for idx := 0; idx < n; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// simulatePayments runs every payment's protocol simulation across a worker
+// pool. Result order is by payment index, independent of scheduling.
+func simulatePayments(base core.Scenario, payments []*payment, registry map[string]core.Protocol, workers int) []subOutcome {
+	out := make([]subOutcome, len(payments))
+	forEachIndex(len(payments), workers, func(idx int) {
+		p := payments[idx]
+		sub := subScenario(base, p)
+		r, err := registry[p.Protocol].Run(sub)
+		if err != nil {
+			out[idx] = subOutcome{err: err}
+			return
+		}
+		out[idx] = subOutcome{paid: r.BobPaid, duration: r.Duration, events: r.EventsFired}
+	})
+	return out
+}
+
+// newLiquidityBook builds the traffic-level escrow book: one ledger per
+// escrow of the chain, with both adjacent customers holding accounts. With
+// Workload.Liquidity set, each account is endowed with exactly that much;
+// otherwise endowments are auto-sized to each account's worst-case demand
+// across the whole workload, so liquidity never binds.
+func newLiquidityBook(s core.Scenario, w Workload, payments []*payment) *ledger.Book {
+	book := ledger.NewBook()
+	demand := map[string]map[string]int64{}
+	if w.Liquidity <= 0 {
+		for _, p := range payments {
+			for k := 0; k < p.hops(); k++ {
+				e := core.EscrowID(p.Sender + k)
+				if demand[e] == nil {
+					demand[e] = map[string]int64{}
+				}
+				demand[e][core.CustomerID(p.Sender+k)] += p.amountVia(k)
+			}
+		}
+	}
+	for i := 0; i < s.Topology.N; i++ {
+		l := ledger.New(core.EscrowID(i))
+		for _, owner := range []string{core.CustomerID(i), core.CustomerID(i + 1)} {
+			endow := w.Liquidity
+			if w.Liquidity <= 0 {
+				endow = demand[l.Name()][owner]
+			}
+			if endow > 0 {
+				l.Mint(0, owner, endow) //nolint:errcheck // amount > 0 by construction
+			} else {
+				l.CreateAccount(owner) //nolint:errcheck // fresh ledger, no duplicates
+			}
+		}
+		book.Add(l)
+	}
+	return book
+}
+
+// queued is one payment waiting for liquidity.
+type queued struct {
+	p      *payment
+	expiry *sim.Event
+}
+
+// runTimeline replays arrivals, admission, queuing and settlement on a
+// discrete-event engine. It fills Start/End/Status/Queued of res.Payments
+// and the concurrency/event counters of res.
+func runTimeline(res *Result, payments []*payment, subs []subOutcome, w Workload) {
+	eng := sim.NewEngine(res.Seed)
+	book := res.Book
+	var (
+		queue    []*queued
+		inFlight int
+	)
+	// Every admission attempt uses a fresh lock ID: a rolled-back attempt
+	// leaves its refunded locks in the ledgers' histories, and reusing the
+	// ID on a later retry would be rejected as a duplicate.
+	attempts := make([]int, len(payments))
+	lockIDs := make([]string, len(payments))
+
+	// admit reserves every hop of p, rolling back on the first exhausted
+	// hop. It returns whether the payment is now in flight.
+	admit := func(p *payment, now sim.Time) bool {
+		id := fmt.Sprintf("%s#%d", p.ID, attempts[p.Index])
+		attempts[p.Index]++
+		hops := p.hops()
+		ok := true
+		var created int
+		for k := 0; k < hops; k++ {
+			l := book.MustGet(core.EscrowID(p.Sender + k))
+			_, err := l.CreateLock(now, id,
+				core.CustomerID(p.Sender+k), core.CustomerID(p.Sender+k+1),
+				p.amountVia(k), ledger.Condition{})
+			if err != nil {
+				ok = false
+				break
+			}
+			created++
+		}
+		if !ok {
+			for k := created - 1; k >= 0; k-- {
+				l := book.MustGet(core.EscrowID(p.Sender + k))
+				l.Refund(now, id, now) //nolint:errcheck // lock pending by construction
+			}
+			return false
+		}
+		lockIDs[p.Index] = id
+		return true
+	}
+
+	var drainQueue func(now sim.Time)
+
+	// start marks p admitted at now and schedules its settlement at the
+	// virtual time its own protocol run finished.
+	start := func(p *payment, now sim.Time) {
+		pr := &res.Payments[p.Index]
+		pr.Start = now
+		inFlight++
+		if inFlight > res.PeakInFlight {
+			res.PeakInFlight = inFlight
+		}
+		sub := subs[p.Index]
+		eng.ScheduleIn(sub.duration, "settle:"+p.ID, func() {
+			end := eng.Now()
+			pr.End = end
+			switch {
+			case sub.err != nil:
+				pr.Status = StatusError
+			case sub.paid:
+				pr.Status = StatusOK
+			default:
+				pr.Status = StatusProtocolFailed
+			}
+			for k := 0; k < p.hops(); k++ {
+				l := book.MustGet(core.EscrowID(p.Sender + k))
+				if pr.Status == StatusOK {
+					l.Release(end, lockIDs[p.Index], nil, end) //nolint:errcheck // unconditional lock
+				} else {
+					l.Refund(end, lockIDs[p.Index], end) //nolint:errcheck // unconditional lock
+				}
+			}
+			inFlight--
+			drainQueue(end)
+		})
+	}
+
+	// drainQueue retries waiting payments in arrival order whenever
+	// settlement frees liquidity; payments that still do not fit stay
+	// queued (no head-of-line blocking for the ones behind them).
+	drainQueue = func(now sim.Time) {
+		if len(queue) == 0 {
+			return
+		}
+		remaining := queue[:0]
+		for _, q := range queue {
+			if admit(q.p, now) {
+				q.expiry.Cancel()
+				pr := &res.Payments[q.p.Index]
+				pr.Queued = true
+				pr.QueueWait = now - q.p.Arrival
+				start(q.p, now)
+			} else {
+				remaining = append(remaining, q)
+			}
+		}
+		queue = remaining
+	}
+
+	for _, p := range payments {
+		p := p
+		eng.ScheduleAt(p.Arrival, "arrive:"+p.ID, func() {
+			now := eng.Now()
+			if admit(p, now) {
+				start(p, now)
+				return
+			}
+			pr := &res.Payments[p.Index]
+			if w.QueuePatience <= 0 || (w.MaxQueue > 0 && len(queue) >= w.MaxQueue) {
+				pr.Status = StatusRejected
+				pr.End = now
+				return
+			}
+			q := &queued{p: p}
+			q.expiry = eng.ScheduleIn(w.QueuePatience, "expire:"+p.ID, func() {
+				for i, qq := range queue {
+					if qq == q {
+						queue = append(queue[:i], queue[i+1:]...)
+						break
+					}
+				}
+				pr.Status = StatusDropped
+				pr.End = eng.Now()
+				pr.Queued = true
+				pr.QueueWait = pr.End - p.Arrival
+			})
+			queue = append(queue, q)
+		})
+	}
+	_, fired := eng.Run(0)
+	res.TimelineEvents = fired
+}

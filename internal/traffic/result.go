@@ -1,0 +1,211 @@
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ledger"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Status classifies how one payment ended.
+type Status string
+
+// Payment statuses.
+const (
+	// StatusOK: the payment was admitted and its protocol run paid the
+	// receiver; the escrow locks were released downstream.
+	StatusOK Status = "ok"
+	// StatusProtocolFailed: the payment was admitted but its protocol run
+	// did not pay the receiver (faults, impatience); locks were refunded.
+	StatusProtocolFailed Status = "protocol-failed"
+	// StatusRejected: admission found a hop without enough liquidity and the
+	// workload does not queue (or the queue was full).
+	StatusRejected Status = "rejected"
+	// StatusDropped: the payment queued for liquidity but its patience ran
+	// out before capacity freed up.
+	StatusDropped Status = "dropped"
+	// StatusError: the protocol run itself returned an engine error (a
+	// scenario bug, not a protocol property violation); locks were refunded.
+	StatusError Status = "error"
+)
+
+// PaymentResult records one payment's fate in the traffic timeline.
+type PaymentResult struct {
+	ID       string
+	Sender   int
+	Receiver int
+	// Amount is what the receiver would collect (last-hop amount); Volume is
+	// what the sender locks on its first hop (amount plus commissions).
+	Amount int64
+	Volume int64
+	Hops   int
+	// Protocol names the single-payment protocol that executed it.
+	Protocol string
+	Status   Status
+	// Arrival is when the payment entered the system; Start when it was
+	// admitted (locks created); End when its locks settled (or when it was
+	// rejected/dropped).
+	Arrival sim.Time
+	Start   sim.Time
+	End     sim.Time
+	// Queued reports whether the payment waited for liquidity; QueueWait is
+	// Start-Arrival for admitted payments (End-Arrival for dropped ones).
+	Queued    bool
+	QueueWait sim.Time
+	// SubEvents is the number of simulation events the payment's own
+	// protocol run fired (0 when it never ran).
+	SubEvents uint64
+}
+
+// Latency is the end-to-end latency (arrival to settlement) of an admitted
+// payment, including any queue wait.
+func (p PaymentResult) Latency() sim.Time { return p.End - p.Arrival }
+
+// Result aggregates a whole traffic run. All fields are deterministic in
+// (Scenario.Seed, Workload); String renders them to a byte-stable summary.
+type Result struct {
+	// Chain is the topology size n the workload ran against.
+	Chain int
+	// Seed echoes Scenario.Seed.
+	Seed int64
+	// Workload echoes the workload that ran.
+	Workload Workload
+	// Payments holds one entry per generated payment, in arrival order.
+	Payments []PaymentResult
+
+	// Outcome counts.
+	Succeeded int
+	Failed    int
+	Rejected  int
+	Dropped   int
+	Errored   int
+
+	// SuccessRate is Succeeded / Payments.
+	SuccessRate float64
+	// OfferedRate is the measured arrival rate (payments per simulated
+	// second); Throughput is the settled rate (successes per simulated
+	// second of makespan).
+	OfferedRate float64
+	Throughput  float64
+	// Makespan is the virtual time at which the last payment settled.
+	Makespan sim.Time
+	// VolumeMoved is the total value successfully delivered to receivers.
+	VolumeMoved int64
+
+	// Latency percentiles over successful payments, in milliseconds.
+	LatencyMeanMs float64
+	LatencyP50Ms  float64
+	LatencyP95Ms  float64
+	LatencyP99Ms  float64
+	LatencyMaxMs  float64
+	// QueuedCount and QueueWaitMeanMs summarise admission queuing.
+	QueuedCount     int
+	QueueWaitMeanMs float64
+
+	// PeakInFlight is the largest number of simultaneously admitted
+	// payments — the measure of how concurrent the run actually was.
+	PeakInFlight int
+
+	// Book is the traffic-level liquidity book (one ledger per escrow)
+	// after settlement; AuditErr is the result of auditing every ledger.
+	Book     *ledger.Book `json:"-"`
+	AuditErr error
+	// PendingLocks counts traffic-level locks never settled (must be 0).
+	PendingLocks int
+
+	// SubEventsFired sums the simulation events of all per-payment protocol
+	// runs; TimelineEvents counts the admission timeline's own events.
+	SubEventsFired uint64
+	TimelineEvents uint64
+}
+
+// finalize computes every aggregate from r.Payments and the liquidity book.
+func (r *Result) finalize() {
+	lat := stats.New()
+	queueWait := stats.New()
+	var lastArrival sim.Time
+	for i := range r.Payments {
+		p := &r.Payments[i]
+		switch p.Status {
+		case StatusOK:
+			r.Succeeded++
+			r.VolumeMoved += p.Amount
+			lat.Add(p.Latency().Millis())
+		case StatusProtocolFailed:
+			r.Failed++
+		case StatusRejected:
+			r.Rejected++
+		case StatusDropped:
+			r.Dropped++
+		case StatusError:
+			r.Errored++
+		}
+		if p.Queued {
+			r.QueuedCount++
+			queueWait.Add(p.QueueWait.Millis())
+		}
+		if p.Arrival > lastArrival {
+			lastArrival = p.Arrival
+		}
+		if p.End > r.Makespan {
+			r.Makespan = p.End
+		}
+		r.SubEventsFired += p.SubEvents
+	}
+	if n := len(r.Payments); n > 0 {
+		r.SuccessRate = float64(r.Succeeded) / float64(n)
+		if lastArrival > 0 {
+			r.OfferedRate = float64(n) / lastArrival.Seconds()
+		}
+	}
+	if r.Makespan > 0 {
+		r.Throughput = float64(r.Succeeded) / r.Makespan.Seconds()
+	}
+	r.LatencyMeanMs = lat.Mean()
+	r.LatencyP50Ms = lat.Percentile(50)
+	r.LatencyP95Ms = lat.Percentile(95)
+	r.LatencyP99Ms = lat.Percentile(99)
+	r.LatencyMaxMs = lat.Max()
+	r.QueueWaitMeanMs = queueWait.Mean()
+	if r.Book != nil {
+		r.AuditErr = r.Book.AuditAll()
+		for _, name := range r.Book.Names() {
+			r.PendingLocks += len(r.Book.MustGet(name).PendingLocks())
+		}
+	}
+}
+
+// String renders a deterministic multi-line summary (used by the CLI, the
+// determinism test, and the example).
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic: %d payments over %d escrows (seed %d)\n",
+		len(r.Payments), r.Chain, r.Seed)
+	fmt.Fprintf(&b, "  outcome     ok=%d protocol-failed=%d rejected=%d dropped=%d error=%d (success %.1f%%)\n",
+		r.Succeeded, r.Failed, r.Rejected, r.Dropped, r.Errored, 100*r.SuccessRate)
+	fmt.Fprintf(&b, "  load        offered=%.1f/s settled=%.1f/s makespan=%v peak-in-flight=%d\n",
+		r.OfferedRate, r.Throughput, r.Makespan, r.PeakInFlight)
+	fmt.Fprintf(&b, "  latency     mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n",
+		r.LatencyMeanMs, r.LatencyP50Ms, r.LatencyP95Ms, r.LatencyP99Ms, r.LatencyMaxMs)
+	fmt.Fprintf(&b, "  queue       queued=%d mean-wait=%.3fms\n", r.QueuedCount, r.QueueWaitMeanMs)
+	fmt.Fprintf(&b, "  value       delivered=%d units\n", r.VolumeMoved)
+	audit := "ok"
+	if r.AuditErr != nil {
+		audit = r.AuditErr.Error()
+	}
+	fmt.Fprintf(&b, "  ledgers     audit=%s pending-locks=%d\n", audit, r.PendingLocks)
+	fmt.Fprintf(&b, "  simulation  sub-events=%d timeline-events=%d\n", r.SubEventsFired, r.TimelineEvents)
+	return b.String()
+}
+
+// PaymentTable renders one line per payment, for -v CLI output.
+func (r *Result) PaymentTable() string {
+	var b strings.Builder
+	for _, p := range r.Payments {
+		fmt.Fprintf(&b, "%-14s %-18s %-15s arrive=%-12v start=%-12v end=%-12v amount=%d\n",
+			p.ID, p.Protocol, p.Status, p.Arrival, p.Start, p.End, p.Amount)
+	}
+	return b.String()
+}

@@ -1,0 +1,384 @@
+// Package traffic generates and executes many concurrent cross-chain
+// payments sharing one Fig. 1 escrow chain.
+//
+// The single-run packages (internal/timelock, internal/weaklive,
+// internal/htlc) answer "what happens to ONE payment"; this package answers
+// "what happens to a NETWORK carrying thousands". A Workload describes an
+// arrival process, a payment-size distribution, sender hotspots and a mix of
+// protocols; the executor in engine.go admits each payment against shared
+// escrow liquidity (escrow locks reserving balance on a traffic-level
+// ledger.Book), runs the payment itself on the deterministic sim engine, and
+// aggregates the per-payment results into a Result with success rate,
+// throughput and latency percentiles. sweep.go runs whole workloads across a
+// parameter grid on a worker pool.
+//
+// Everything is deterministic in (Scenario.Seed, Workload): payment arrival
+// times, sizes, routes and per-payment protocol seeds are all derived from
+// the scenario seed with a splitmix64 stream, and the admission timeline is
+// an ordinary discrete-event simulation, so two runs of the same workload
+// produce byte-identical Results regardless of the worker count.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ArrivalKind selects the arrival process of a workload.
+type ArrivalKind string
+
+// Arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps (rate = Rate
+	// payments per simulated second) — the classic open-workload model.
+	ArrivalPoisson ArrivalKind = "poisson"
+	// ArrivalUniform draws gaps uniformly in [0, 2/Rate]: same mean load as
+	// Poisson but with bounded burstiness.
+	ArrivalUniform ArrivalKind = "uniform"
+	// ArrivalBurst releases payments in back-to-back bursts of BurstSize
+	// arriving at the same instant, bursts separated by BurstGap.
+	ArrivalBurst ArrivalKind = "burst"
+)
+
+// Arrival describes when payments enter the system.
+type Arrival struct {
+	Kind ArrivalKind
+	// Rate is the mean arrival rate in payments per simulated second
+	// (Poisson and Uniform). Zero defaults to 100/s.
+	Rate float64
+	// BurstSize and BurstGap shape ArrivalBurst; zero values default to 10
+	// payments every 100ms.
+	BurstSize int
+	BurstGap  sim.Time
+}
+
+// AmountKind selects the payment-size distribution.
+type AmountKind string
+
+// Amount distributions.
+const (
+	// AmountFixed pays exactly Base via the last escrow of the route.
+	AmountFixed AmountKind = "fixed"
+	// AmountUniform draws uniformly in [Base-Spread, Base+Spread].
+	AmountUniform AmountKind = "uniform"
+	// AmountExponential draws an exponential with mean Base (heavy-ish tail,
+	// clamped to at least 1), the usual stand-in for value distributions.
+	AmountExponential AmountKind = "exponential"
+)
+
+// AmountDist describes how large payments are.
+type AmountDist struct {
+	Kind AmountKind
+	// Base is the central payment size (amount Bob receives). Zero defaults
+	// to 100.
+	Base int64
+	// Spread widens AmountUniform; ignored otherwise.
+	Spread int64
+}
+
+// ProtocolShare weights one protocol within a mixed workload. Name must be
+// resolvable by the executor's protocol registry (see Config.Protocols);
+// the built-in names are "timelock", "timelock-naive", "weaklive",
+// "weaklive-committee" and "htlc".
+type ProtocolShare struct {
+	Name   string
+	Weight float64
+}
+
+// Workload describes a population of payments offered to one escrow chain.
+// The zero value is not useful; start from NewWorkload and adjust fields.
+type Workload struct {
+	// Payments is the number of payments generated.
+	Payments int
+	// Arrival is the arrival process.
+	Arrival Arrival
+	// Amounts is the payment-size distribution.
+	Amounts AmountDist
+	// Commission is the per-hop connector commission added upstream, exactly
+	// as in core.NewPaymentSpec.
+	Commission int64
+	// Mix selects the protocol per payment by weight. Empty means 100%
+	// "timelock".
+	Mix []ProtocolShare
+	// RandomSubPaths, when set, routes each payment between a random pair of
+	// customers c_i -> c_j (i < j) instead of always Alice -> Bob, so hops
+	// see different loads.
+	RandomSubPaths bool
+	// HotspotFraction is the fraction of payments forced to originate at
+	// HotspotSender (only meaningful with RandomSubPaths); the remainder
+	// pick senders uniformly.
+	HotspotFraction float64
+	// HotspotSender is the customer index of the hot sender.
+	HotspotSender int
+	// Liquidity is the endowment minted for each customer account on each
+	// traffic ledger. Zero auto-sizes to the worst-case demand so that no
+	// payment is ever rejected for lack of liquidity; set it low to study
+	// contention.
+	Liquidity int64
+	// QueuePatience is how long a payment blocked on exhausted liquidity
+	// waits in the admission queue before being dropped. Zero disables
+	// queuing: blocked payments are rejected immediately.
+	QueuePatience sim.Time
+	// MaxQueue caps the number of simultaneously queued payments (0 = no
+	// cap). Arrivals beyond the cap are rejected.
+	MaxQueue int
+}
+
+// NewWorkload returns a sane default workload: n payments, Poisson arrivals
+// at 100/s, fixed size 100 with commission 1, all time-bounded protocol,
+// full-path routes, auto-sized liquidity, no queuing.
+func NewWorkload(n int) Workload {
+	return Workload{
+		Payments:   n,
+		Arrival:    Arrival{Kind: ArrivalPoisson, Rate: 100},
+		Amounts:    AmountDist{Kind: AmountFixed, Base: 100},
+		Commission: 1,
+	}
+}
+
+// WithMix returns a copy of the workload using the given protocol mix.
+func (w Workload) WithMix(mix ...ProtocolShare) Workload {
+	w.Mix = mix
+	return w
+}
+
+// WithLiquidity returns a copy of the workload with bounded escrow
+// liquidity.
+func (w Workload) WithLiquidity(liq int64) Workload {
+	w.Liquidity = liq
+	return w
+}
+
+// WithQueue returns a copy of the workload in which blocked payments queue
+// for up to patience (bounded by maxLen if non-zero) instead of failing
+// immediately.
+func (w Workload) WithQueue(patience sim.Time, maxLen int) Workload {
+	w.QueuePatience = patience
+	w.MaxQueue = maxLen
+	return w
+}
+
+// Validate checks the workload against a topology.
+func (w Workload) Validate(t core.Topology) error {
+	if w.Payments <= 0 {
+		return fmt.Errorf("traffic: workload has no payments")
+	}
+	switch w.Arrival.Kind {
+	case ArrivalPoisson, ArrivalUniform, ArrivalBurst, "":
+	default:
+		return fmt.Errorf("traffic: unknown arrival kind %q", w.Arrival.Kind)
+	}
+	switch w.Amounts.Kind {
+	case AmountFixed, AmountUniform, AmountExponential, "":
+	default:
+		return fmt.Errorf("traffic: unknown amount kind %q", w.Amounts.Kind)
+	}
+	for _, m := range w.Mix {
+		if m.Weight < 0 {
+			return fmt.Errorf("traffic: protocol %q has negative weight", m.Name)
+		}
+	}
+	if w.HotspotFraction < 0 || w.HotspotFraction > 1 {
+		return fmt.Errorf("traffic: hotspot fraction %v outside [0,1]", w.HotspotFraction)
+	}
+	if w.RandomSubPaths && (w.HotspotSender < 0 || w.HotspotSender >= t.N) {
+		if w.HotspotFraction > 0 {
+			return fmt.Errorf("traffic: hotspot sender c%d outside chain 0..%d", w.HotspotSender, t.N-1)
+		}
+	}
+	return nil
+}
+
+// payment is one generated payment: its route on the shared chain, its
+// per-hop amounts, its arrival time, the protocol it uses, and a private
+// seed for its own simulation.
+type payment struct {
+	Index    int
+	ID       string
+	Sender   int // customer index c_Sender
+	Receiver int // customer index c_Receiver, Sender < Receiver
+	Amounts  []int64
+	Arrival  sim.Time
+	Protocol string
+	Seed     int64
+}
+
+// hops returns the number of escrows the payment crosses.
+func (p *payment) hops() int { return p.Receiver - p.Sender }
+
+// amountVia returns the amount locked on escrow e_{Sender+k}.
+func (p *payment) amountVia(k int) int64 { return p.Amounts[k] }
+
+// splitmix64 is the SplitMix64 finalizer, used to derive independent
+// per-payment seeds from (Scenario.Seed, payment index) without any shared
+// RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// paymentSeed derives the private RNG seed of payment idx.
+func paymentSeed(scenarioSeed int64, idx int) int64 {
+	s := splitmix64(splitmix64(uint64(scenarioSeed)) ^ uint64(idx+1))
+	// Keep it positive: some downstream code prints seeds and negative
+	// values read poorly in tables.
+	return int64(s >> 1)
+}
+
+// generate materialises the workload against the scenario: all draws come
+// from one rand.Rand seeded from Scenario.Seed, in one fixed order, so the
+// payment population is deterministic.
+func (w Workload) generate(s core.Scenario) []*payment {
+	rng := rand.New(rand.NewSource(int64(splitmix64(uint64(s.Seed)) >> 1)))
+	n := s.Topology.N
+	mix := w.Mix
+	if len(mix) == 0 {
+		mix = []ProtocolShare{{Name: "timelock", Weight: 1}}
+	}
+	var totalWeight float64
+	for _, m := range mix {
+		totalWeight += m.Weight
+	}
+
+	arrival := w.Arrival
+	if arrival.Rate <= 0 {
+		arrival.Rate = 100
+	}
+	if arrival.BurstSize <= 0 {
+		arrival.BurstSize = 10
+	}
+	if arrival.BurstGap <= 0 {
+		arrival.BurstGap = 100 * sim.Millisecond
+	}
+	amounts := w.Amounts
+	if amounts.Base <= 0 {
+		amounts.Base = 100
+	}
+
+	out := make([]*payment, w.Payments)
+	var now sim.Time
+	for i := range out {
+		// 1) Arrival instant.
+		switch arrival.Kind {
+		case ArrivalUniform:
+			gap := rng.Float64() * 2 / arrival.Rate
+			now += sim.Time(math.Round(gap * float64(sim.Second)))
+		case ArrivalBurst:
+			if i > 0 && i%arrival.BurstSize == 0 {
+				now += arrival.BurstGap
+			}
+		default: // Poisson
+			gap := rng.ExpFloat64() / arrival.Rate
+			now += sim.Time(math.Round(gap * float64(sim.Second)))
+		}
+
+		// 2) Route.
+		sender, receiver := 0, n
+		if w.RandomSubPaths {
+			if w.HotspotFraction > 0 && rng.Float64() < w.HotspotFraction {
+				sender = w.HotspotSender
+			} else {
+				sender = rng.Intn(n)
+			}
+			receiver = sender + 1 + rng.Intn(n-sender)
+		}
+
+		// 3) Size.
+		base := amounts.Base
+		switch amounts.Kind {
+		case AmountUniform:
+			if amounts.Spread > 0 {
+				base += rng.Int63n(2*amounts.Spread+1) - amounts.Spread
+			}
+		case AmountExponential:
+			base = int64(math.Round(rng.ExpFloat64() * float64(amounts.Base)))
+		}
+		if base < 1 {
+			base = 1
+		}
+		hops := receiver - sender
+		perHop := make([]int64, hops)
+		for k := 0; k < hops; k++ {
+			perHop[k] = base + int64(hops-1-k)*w.Commission
+		}
+
+		// 4) Protocol.
+		name := mix[0].Name
+		if len(mix) > 1 && totalWeight > 0 {
+			pick := rng.Float64() * totalWeight
+			for _, m := range mix {
+				if pick < m.Weight {
+					name = m.Name
+					break
+				}
+				pick -= m.Weight
+			}
+		}
+
+		out[i] = &payment{
+			Index:    i,
+			ID:       fmt.Sprintf("p%05d-c%d-c%d", i, sender, receiver),
+			Sender:   sender,
+			Receiver: receiver,
+			Amounts:  perHop,
+			Arrival:  now,
+			Protocol: name,
+			Seed:     paymentSeed(s.Seed, i),
+		}
+	}
+	return out
+}
+
+// subScenario builds the single-payment scenario that simulates payment p in
+// isolation: the route becomes its own Fig. 1 chain (sub-chain customer c_k
+// is chain customer c_{Sender+k}), inheriting timing, network model, faults
+// and patience from the base scenario, with the payment's private seed.
+func subScenario(base core.Scenario, p *payment) core.Scenario {
+	h := p.hops()
+	topo := core.NewTopology(h)
+	spec := core.PaymentSpec{PaymentID: p.ID, Amounts: p.Amounts}
+	balance := spec.AlicePays() * 2
+	if base.InitialBalance > balance {
+		balance = base.InitialBalance
+	}
+	sub := core.Scenario{
+		Topology:       topo,
+		Spec:           spec,
+		Timing:         base.Timing,
+		Network:        base.Network,
+		InitialBalance: balance,
+		Seed:           p.Seed,
+		MuteTrace:      true,
+		MaxEvents:      base.MaxEvents,
+	}
+	for k := 0; k <= h; k++ {
+		id := core.CustomerID(p.Sender + k)
+		if f := base.FaultOf(id); f.IsByzantine() {
+			sub = sub.SetFault(core.CustomerID(k), f)
+		}
+		if pt := base.PatienceOf(id); pt != 0 {
+			sub = sub.SetPatience(core.CustomerID(k), pt)
+		}
+	}
+	for k := 0; k < h; k++ {
+		if f := base.FaultOf(core.EscrowID(p.Sender + k)); f.IsByzantine() {
+			sub = sub.SetFault(core.EscrowID(k), f)
+		}
+	}
+	// Manager and notary faults apply to every payment that uses them.
+	for id, f := range base.Faults {
+		switch base.Topology.RoleOf(id) {
+		case core.RoleManager, core.RoleNotary:
+			if f.IsByzantine() {
+				sub = sub.SetFault(id, f)
+			}
+		}
+	}
+	return sub
+}

@@ -27,6 +27,16 @@
 //   - The cross-chain deal protocols of Herlihy et al. live in
 //     internal/deals and are reached through the experiment harness (E6).
 //
+// Beyond single payments, the traffic subsystem multiplexes many concurrent
+// payments over one shared escrow chain with bounded liquidity:
+//
+//	w := xchainpay.NewWorkload(1000)           // 1000 payments, Poisson arrivals
+//	tr, err := xchainpay.RunTraffic(s, w)      // deterministic in (s.Seed, w)
+//	fmt.Print(tr)                              // success rate, throughput, latency
+//
+// See internal/traffic, experiment E9, cmd/xchain-traffic and
+// examples/traffic.
+//
 // The experiment harness regenerating every artefact of the paper is in
 // internal/bench and is exposed through cmd/xchain-bench and the root-level
 // benchmarks in bench_test.go.
@@ -39,6 +49,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/timelock"
+	"repro/internal/traffic"
 	"repro/internal/weaklive"
 )
 
@@ -68,6 +79,39 @@ type (
 	Report = check.Report
 	// Time is simulated time in microseconds.
 	Time = sim.Time
+	// Workload describes a population of concurrent payments offered to one
+	// escrow chain (arrival process, sizes, hotspots, protocol mix).
+	Workload = traffic.Workload
+	// TrafficResult aggregates a multi-payment traffic run: success rate,
+	// throughput, latency percentiles and the audited liquidity ledgers.
+	TrafficResult = traffic.Result
+	// TrafficConfig tunes traffic execution (worker-pool size, protocol
+	// registry) without affecting results.
+	TrafficConfig = traffic.Config
+	// TrafficPoint is one cell of a traffic parameter sweep.
+	TrafficPoint = traffic.Point
+	// TrafficOutcome pairs a sweep cell with its result.
+	TrafficOutcome = traffic.Outcome
+	// Arrival describes when a workload's payments enter the system.
+	Arrival = traffic.Arrival
+	// ArrivalKind selects a workload's arrival process.
+	ArrivalKind = traffic.ArrivalKind
+	// AmountDist describes how large a workload's payments are.
+	AmountDist = traffic.AmountDist
+	// AmountKind selects a workload's payment-size distribution.
+	AmountKind = traffic.AmountKind
+	// ProtocolShare weights one protocol within a mixed workload.
+	ProtocolShare = traffic.ProtocolShare
+)
+
+// Workload arrival processes and amount distributions, re-exported.
+const (
+	ArrivalPoisson    = traffic.ArrivalPoisson
+	ArrivalUniform    = traffic.ArrivalUniform
+	ArrivalBurst      = traffic.ArrivalBurst
+	AmountFixed       = traffic.AmountFixed
+	AmountUniform     = traffic.AmountUniform
+	AmountExponential = traffic.AmountExponential
 )
 
 // Time units, re-exported for scenario construction.
@@ -127,6 +171,40 @@ func WeakLivenessCommittee(size int) *weaklive.Protocol { return weaklive.NewCom
 
 // HTLCBaseline returns the hashed-timelock baseline protocol.
 func HTLCBaseline() *htlc.Protocol { return htlc.New() }
+
+// NewWorkload returns a default traffic workload of n payments: Poisson
+// arrivals at 100/s, fixed size, all time-bounded protocol, auto-sized
+// liquidity. Adjust its fields or use its With* methods before running.
+func NewWorkload(n int) Workload { return traffic.NewWorkload(n) }
+
+// RunTraffic executes the workload as many concurrent payments multiplexed
+// over the scenario's escrow chain, with per-payment simulations fanned out
+// across one worker per CPU. The result is deterministic in
+// (Scenario.Seed, Workload) regardless of the worker count.
+func RunTraffic(s Scenario, w Workload) (*TrafficResult, error) { return traffic.Run(s, w) }
+
+// RunTrafficWith is RunTraffic with an explicit execution configuration.
+func RunTrafficWith(s Scenario, w Workload, cfg TrafficConfig) (*TrafficResult, error) {
+	return traffic.RunWith(s, w, cfg)
+}
+
+// SweepTraffic runs every (scenario, workload) point across a worker pool
+// and returns the outcomes in point order.
+func SweepTraffic(points []TrafficPoint, cfg TrafficConfig) []TrafficOutcome {
+	return traffic.Sweep(points, cfg)
+}
+
+// SeedSweepTraffic builds one sweep point per seed over the same scenario
+// shape and workload.
+func SeedSweepTraffic(s Scenario, w Workload, seeds []int64) []TrafficPoint {
+	return traffic.SeedSweep(s, w, seeds)
+}
+
+// GridTraffic builds the cross product of chain lengths and seeds as sweep
+// points; mutate, if non-nil, adjusts each scenario before it is added.
+func GridTraffic(chains []int, seeds []int64, w Workload, mutate func(Scenario) Scenario) []TrafficPoint {
+	return traffic.Grid(chains, seeds, w, mutate)
+}
 
 // CheckTimeBounded evaluates a run against Definition 1 in its time-bounded
 // variant: termination must happen within bound.

@@ -76,6 +76,38 @@ func TestFacadeNetworks(t *testing.T) {
 	}
 }
 
+func TestTrafficFacade(t *testing.T) {
+	s := NewScenario(4, 11)
+	w := NewWorkload(80)
+	a, err := RunTraffic(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrafficWith(s, w, TrafficConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("traffic results differ between parallel and serial execution:\n%s\nvs\n%s", a, b)
+	}
+	if a.Succeeded != 80 {
+		t.Fatalf("expected all 80 payments to succeed with ample liquidity:\n%s", a)
+	}
+	if a.AuditErr != nil {
+		t.Fatalf("liquidity ledgers failed audit: %v", a.AuditErr)
+	}
+	points := SweepTraffic([]TrafficPoint{
+		{Label: "a", Scenario: s, Workload: w},
+		{Label: "b", Scenario: s.WithSeed(12), Workload: w},
+	}, TrafficConfig{})
+	if len(points) != 2 || points[0].Err != nil || points[1].Err != nil {
+		t.Fatalf("sweep failed: %+v", points)
+	}
+	if points[0].Result.String() != a.String() {
+		t.Fatal("sweep cell differs from the standalone run of the same point")
+	}
+}
+
 func TestFacadeScenarioHelpers(t *testing.T) {
 	if NewTopology(4).N != 4 {
 		t.Error("NewTopology mismatch")
