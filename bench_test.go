@@ -12,7 +12,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchConfig is the per-iteration experiment size used inside benchmarks:
@@ -156,3 +158,99 @@ func BenchmarkTraffic1kPayments(b *testing.B) { benchTraffic(b, 0) }
 // BenchmarkTraffic1kPaymentsSerial is the single-worker baseline the
 // parallel figure is compared against.
 func BenchmarkTraffic1kPaymentsSerial(b *testing.B) { benchTraffic(b, 1) }
+
+// Kernel micro-benchmarks: the raw cost of the simulation kernel's hot path
+// (event scheduling/firing and muted message delivery), independent of any
+// protocol. CI runs these with -benchtime=1x as a smoke test; compare runs
+// with benchstat (see README "Performance").
+
+// BenchmarkKernelScheduleFire measures one schedule+fire cycle through the
+// pooled event heap using the closure-based entry point.
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.ScheduleAt(eng.Now()+1, "tick", fn)
+		eng.Run(0)
+	}
+}
+
+// BenchmarkKernelScheduleFireArg measures the allocation-free arg-based
+// entry point used by the network's delivery path.
+func BenchmarkKernelScheduleFireArg(b *testing.B) {
+	eng := sim.NewEngine(1)
+	type payload struct{ n int }
+	arg := &payload{}
+	fn := func(x any) { x.(*payload).n++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.ScheduleArgAt(eng.Now()+1, "tick", fn, arg)
+		eng.Run(0)
+	}
+}
+
+// BenchmarkKernelScheduleDepth measures scheduling into a deep queue (heap
+// sift cost): 1024 pending events per firing.
+func BenchmarkKernelScheduleDepth(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		eng.ScheduleAt(eng.Now()+sim.Time(i)+1, "standing", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ScheduleAt(eng.Now()+1, "tick", fn)
+		eng.RunUntil(eng.NextEventTime(), 1)
+	}
+}
+
+// BenchmarkKernelSendDeliver measures one muted network send+deliver cycle:
+// envelope construction, delay draw, pooled delivery scheduling and the
+// delivery callback itself.
+func BenchmarkKernelSendDeliver(b *testing.B) {
+	eng := sim.NewEngine(1)
+	tr := trace.New()
+	tr.Mute()
+	net := netsim.New(eng, netsim.Synchronous{Min: 1, Max: 1}, tr)
+	net.Register(&netsim.FuncNode{Id: "a"})
+	net.Register(&netsim.FuncNode{Id: "b"})
+	// Pre-boxed so the benchmark isolates the network path; a value-typed
+	// message adds one 16-byte interface boxing at the call site.
+	var msg netsim.Message = netsim.RawMessage{Label: "m"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Send("a", "b", msg)
+		eng.Run(0)
+	}
+}
+
+// BenchmarkKernelSendDeliverTraced is the same cycle with a live trace, for
+// comparing the cost of recording against the muted fast path.
+func BenchmarkKernelSendDeliverTraced(b *testing.B) {
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, netsim.Synchronous{Min: 1, Max: 1}, trace.New())
+	net.Register(&netsim.FuncNode{Id: "a"})
+	net.Register(&netsim.FuncNode{Id: "b"})
+	msg := netsim.RawMessage{Label: "m"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Send("a", "b", msg)
+		eng.Run(0)
+	}
+}
+
+// BenchmarkKernelCancel measures the cancel-heavy pattern of timeout-driven
+// protocols: schedule a timer, cancel it, let the queue discard it.
+func BenchmarkKernelCancel(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := eng.ScheduleAt(eng.Now()+1000, "timeout", fn)
+		eng.ScheduleAt(eng.Now()+1, "work", fn)
+		tm.Cancel()
+		eng.Run(0)
+	}
+}

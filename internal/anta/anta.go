@@ -185,7 +185,7 @@ type Automaton struct {
 	vars    map[string]sim.Time
 	data    map[string]any
 	inbox   []buffered
-	pending []*sim.Event // timeout wake-ups for the current state
+	pending []sim.Timer // timeout wake-ups for the current state
 	done    bool
 	doneAt  sim.Time
 	// Crashed, when true, makes the automaton ignore everything (used by
@@ -287,10 +287,12 @@ func (a *Automaton) enter(name string) {
 	}
 	a.current = name
 	a.stateLog = append(a.stateLog, name)
-	a.tr.Append(trace.Event{
-		At: a.engine().Now(), Local: a.clk.Now(), Kind: trace.KindState,
-		Actor: a.spec.ID, Label: name, Extra: st.Kind.String(),
-	})
+	if a.tr.Recording() {
+		a.tr.Append(trace.Event{
+			At: a.engine().Now(), Local: a.clk.Now(), Kind: trace.KindState,
+			Actor: a.spec.ID, Label: name, Extra: st.Kind.String(),
+		})
+	}
 	ctx := &Context{a: a}
 	if st.OnEnter != nil {
 		st.OnEnter(ctx)
@@ -299,16 +301,22 @@ func (a *Automaton) enter(name string) {
 	case Final:
 		a.done = true
 		a.doneAt = a.engine().Now()
-		a.tr.Append(trace.Event{
-			At: a.engine().Now(), Local: a.clk.Now(), Kind: trace.KindTerminate,
-			Actor: a.spec.ID, Label: name,
-		})
+		if a.tr.Recording() {
+			a.tr.Append(trace.Event{
+				At: a.engine().Now(), Local: a.clk.Now(), Kind: trace.KindTerminate,
+				Actor: a.spec.ID, Label: name,
+			})
+		}
 	case Output:
 		delay := st.ComputeDelay
 		if delay < 0 {
 			delay = 0
 		}
-		ev := a.clk.ScheduleAfterLocal(delay, a.spec.ID+":emit:"+name, func() {
+		evName := "emit"
+		if a.tr.Recording() {
+			evName = a.spec.ID + ":emit:" + name
+		}
+		ev := a.clk.ScheduleAfterLocal(delay, evName, func() {
 			if a.crashed || a.done || a.current != name {
 				return
 			}
@@ -334,7 +342,10 @@ func (a *Automaton) armTimeouts(st *State) {
 		}
 		tr := tr
 		target := tr.TimeoutAfter(ctx)
-		name := fmt.Sprintf("%s:timeout:%s", a.spec.ID, tr.Name)
+		name := "timeout"
+		if a.tr.Recording() {
+			name = fmt.Sprintf("%s:timeout:%s", a.spec.ID, tr.Name)
+		}
 		var fire func()
 		fire = func() {
 			if a.crashed || a.done || a.current != st.Name {
@@ -357,7 +368,7 @@ func (a *Automaton) armTimeouts(st *State) {
 // take fires a transition.
 func (a *Automaton) take(tr *Transition, from string, msg netsim.Message) {
 	ctx := &Context{a: a, From: from, Msg: msg}
-	if tr.TimeoutAfter != nil && tr.Match == nil {
+	if tr.TimeoutAfter != nil && tr.Match == nil && a.tr.Recording() {
 		a.tr.Append(trace.Event{
 			At: a.engine().Now(), Local: a.clk.Now(), Kind: trace.KindTimeout,
 			Actor: a.spec.ID, Label: tr.Name,

@@ -74,14 +74,14 @@ func (c *Clock) RealUntilLocal(target sim.Time) sim.Time {
 }
 
 // ScheduleAtLocal schedules fn to run when the local clock reaches local time
-// target. The returned event may be canceled.
-func (c *Clock) ScheduleAtLocal(target sim.Time, name string, fn func()) *sim.Event {
+// target. The returned timer may be canceled.
+func (c *Clock) ScheduleAtLocal(target sim.Time, name string, fn func()) sim.Timer {
 	return c.eng.ScheduleIn(c.RealUntilLocal(target), name, fn)
 }
 
 // ScheduleAfterLocal schedules fn to run after local duration d has elapsed
 // on this clock.
-func (c *Clock) ScheduleAfterLocal(d sim.Time, name string, fn func()) *sim.Event {
+func (c *Clock) ScheduleAfterLocal(d sim.Time, name string, fn func()) sim.Timer {
 	return c.eng.ScheduleIn(c.RealFor(d), name, fn)
 }
 

@@ -44,6 +44,7 @@ type Result struct {
 type assetChain struct {
 	run   *dealRun
 	asset string
+	id    string // "chain-" + asset, precomputed for the hot send path
 	led   *ledger.Ledger
 
 	// commitVotes counts distinct commit voters (timelock protocol).
@@ -53,7 +54,7 @@ type assetChain struct {
 }
 
 // ID implements netsim.Node.
-func (a *assetChain) ID() string { return "chain-" + a.asset }
+func (a *assetChain) ID() string { return a.id }
 
 // Deliver implements netsim.Node.
 func (a *assetChain) Deliver(from string, msg netsim.Message) {
@@ -76,10 +77,11 @@ func (a *assetChain) onEscrow(from string, m msgEscrow) {
 	if m.Arc.From != from || m.Arc.Asset.Type != a.asset || a.settled[m.Arc] {
 		return
 	}
-	if _, err := a.led.CreateLock(a.run.eng.Now(), a.arcLockID(m.Arc), m.Arc.From, m.Arc.To, m.Arc.Asset.Amount, ledger.Condition{}); err != nil {
+	lockID := a.arcLockID(m.Arc)
+	if _, err := a.led.CreateLock(a.run.eng.Now(), lockID, m.Arc.From, m.Arc.To, m.Arc.Asset.Amount, ledger.Condition{}); err != nil {
 		return
 	}
-	a.run.tr.AddValue(a.run.eng.Now(), trace.KindLock, a.ID(), m.Arc.From, a.arcLockID(m.Arc), m.Arc.Asset.Amount)
+	a.run.tr.AddValue(a.run.eng.Now(), trace.KindLock, a.ID(), m.Arc.From, lockID, m.Arc.Asset.Amount)
 	for _, p := range a.run.cfg.Deal.Parties {
 		a.run.net.Send(a.ID(), p, msgEscrowed{Arc: m.Arc})
 	}
@@ -126,12 +128,13 @@ func (a *assetChain) release(arc Arc) {
 	if a.settled[arc] {
 		return
 	}
-	if err := a.led.Release(a.run.eng.Now(), a.arcLockID(arc), nil, 0); err != nil {
+	lockID := a.arcLockID(arc)
+	if err := a.led.Release(a.run.eng.Now(), lockID, nil, 0); err != nil {
 		return
 	}
 	a.settled[arc] = true
 	a.run.outcome.Transferred[arc] = true
-	a.run.tr.AddValue(a.run.eng.Now(), trace.KindRelease, a.ID(), arc.To, a.arcLockID(arc), arc.Asset.Amount)
+	a.run.tr.AddValue(a.run.eng.Now(), trace.KindRelease, a.ID(), arc.To, lockID, arc.Asset.Amount)
 	a.run.net.Send(a.ID(), arc.To, msgSettled{Arc: arc, Transferred: true})
 	a.run.net.Send(a.ID(), arc.From, msgSettled{Arc: arc, Transferred: true})
 }
@@ -140,11 +143,12 @@ func (a *assetChain) refund(arc Arc) {
 	if a.settled[arc] {
 		return
 	}
-	if err := a.led.Refund(a.run.eng.Now(), a.arcLockID(arc), a.run.eng.Now()); err != nil {
+	lockID := a.arcLockID(arc)
+	if err := a.led.Refund(a.run.eng.Now(), lockID, a.run.eng.Now()); err != nil {
 		return
 	}
 	a.settled[arc] = true
-	a.run.tr.AddValue(a.run.eng.Now(), trace.KindRefund, a.ID(), arc.From, a.arcLockID(arc), arc.Asset.Amount)
+	a.run.tr.AddValue(a.run.eng.Now(), trace.KindRefund, a.ID(), arc.From, lockID, arc.Asset.Amount)
 	a.run.net.Send(a.ID(), arc.From, msgSettled{Arc: arc, Transferred: false})
 }
 
@@ -369,7 +373,7 @@ func newDealRun(cfg Config, timelock bool) (*dealRun, error) {
 			}
 		}
 		book.Add(led)
-		chain := &assetChain{run: r, asset: t, led: led, commitVotes: map[string]bool{}, settled: map[Arc]bool{}}
+		chain := &assetChain{run: r, asset: t, id: "chain-" + t, led: led, commitVotes: map[string]bool{}, settled: map[Arc]bool{}}
 		if timelock {
 			// The timelock covers escrow set-up plus one vote round for every
 			// party, with synchrony slack.

@@ -247,7 +247,7 @@ func (p *escrowProc) onClaim(from string, m MsgClaim) {
 	}
 	amount := p.run.scn.Spec.AmountVia(p.i)
 	if err := p.led.Release(p.run.eng.Now(), p.run.lockID(p.i), m.Preimage, p.clk.Now()); err != nil {
-		p.run.tr.Add(p.run.eng.Now(), trace.KindViolation, p.id, from, "claim-rejected: "+err.Error())
+		p.run.tr.AddLazy(p.run.eng.Now(), trace.KindViolation, p.id, from, func() string { return "claim-rejected: " + err.Error() })
 		return
 	}
 	p.settled = true

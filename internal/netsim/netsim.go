@@ -11,6 +11,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -177,15 +178,50 @@ func (s Stats) MeanDelay() sim.Time {
 	return s.TotalDelay / sim.Time(s.Delivered)
 }
 
+// deliverArg carries one in-flight message's delivery state. Delivery is
+// scheduled through sim.Engine.ScheduleArgIn with a pooled *deliverArg and a
+// package-level callback instead of a capturing closure, so the muted send
+// path performs no heap allocation in steady state.
+type deliverArg struct {
+	net   *Network
+	dst   Node
+	env   Envelope
+	delay sim.Time
+}
+
+// deliver is the delivery callback shared by every scheduled message. All
+// fields are copied out before the arg is recycled: the recipient's Deliver
+// may itself call Send, which reuses pooled args immediately.
+func deliver(x any) {
+	d := x.(*deliverArg)
+	n, dst, env, delay := d.net, d.dst, d.env, d.delay
+	*d = deliverArg{}
+	n.freeArgs = append(n.freeArgs, d)
+	n.stats.Delivered++
+	n.stats.TotalDelay += delay
+	if delay > n.stats.MaxDelay {
+		n.stats.MaxDelay = delay
+	}
+	if n.tr.Recording() {
+		n.tr.Add(n.eng.Now(), trace.KindDeliver, env.To, env.From, env.Msg.Describe())
+	}
+	dst.Deliver(env.From, env.Msg)
+	if n.Tap != nil {
+		n.Tap(env, n.eng.Now())
+	}
+}
+
 // Network connects nodes through a delay model on a simulation engine.
 type Network struct {
-	eng   *sim.Engine
-	model DelayModel
-	tr    *trace.Trace
-	nodes map[string]Node
-	rules []LinkRule
-	seq   uint64
-	stats Stats
+	eng      *sim.Engine
+	model    DelayModel
+	tr       *trace.Trace
+	nodes    map[string]Node
+	ids      []string // registered node IDs, kept sorted
+	rules    []LinkRule
+	seq      uint64
+	stats    Stats
+	freeArgs []*deliverArg
 	// Tap, if set, observes every delivered message after the recipient
 	// handles it (used by checkers needing message-level visibility).
 	Tap func(env Envelope, deliveredAt sim.Time)
@@ -224,14 +260,19 @@ func (n *Network) Register(node Node) {
 		panic(fmt.Sprintf("netsim: duplicate node id %q", id))
 	}
 	n.nodes[id] = node
+	at := sort.SearchStrings(n.ids, id)
+	n.ids = append(n.ids, "")
+	copy(n.ids[at+1:], n.ids[at:])
+	n.ids[at] = id
 }
 
-// NodeIDs returns the registered node IDs (unsorted).
+// NodeIDs returns the registered node IDs in sorted order. Iteration over
+// nodes must never depend on Go map order: per-message sequence numbers and
+// RNG draws follow iteration order, and a run is only reproducible if that
+// order is fixed.
 func (n *Network) NodeIDs() []string {
-	out := make([]string, 0, len(n.nodes))
-	for id := range n.nodes {
-		out = append(out, id)
-	}
+	out := make([]string, len(n.ids))
+	copy(out, n.ids)
 	return out
 }
 
@@ -243,9 +284,13 @@ func (n *Network) AddRule(r LinkRule) { n.rules = append(n.rules, r) }
 // a non-existent account rather than crashing the run.
 func (n *Network) Send(from, to string, msg Message) {
 	n.seq++
-	env := Envelope{From: from, To: to, Msg: msg, SentAt: n.eng.Now(), Seq: n.seq}
+	now := n.eng.Now()
+	env := Envelope{From: from, To: to, Msg: msg, SentAt: now, Seq: n.seq}
 	n.stats.Sent++
-	n.tr.Add(n.eng.Now(), trace.KindSend, from, to, msg.Describe())
+	recording := n.tr.Recording()
+	if recording {
+		n.tr.Add(now, trace.KindSend, from, to, msg.Describe())
+	}
 
 	delay, drop := n.model.Delay(env, n.eng)
 	for _, r := range n.rules {
@@ -259,29 +304,38 @@ func (n *Network) Send(from, to string, msg Message) {
 	dst, ok := n.nodes[to]
 	if drop || !ok {
 		n.stats.Dropped++
-		n.tr.Add(n.eng.Now(), trace.KindDrop, from, to, msg.Describe())
+		if recording {
+			n.tr.Add(now, trace.KindDrop, from, to, msg.Describe())
+		}
 		return
 	}
 	if delay < 1 {
 		delay = 1
 	}
-	n.eng.ScheduleIn(delay, "deliver:"+msg.Describe(), func() {
-		n.stats.Delivered++
-		n.stats.TotalDelay += delay
-		if delay > n.stats.MaxDelay {
-			n.stats.MaxDelay = delay
-		}
-		n.tr.Add(n.eng.Now(), trace.KindDeliver, to, from, msg.Describe())
-		dst.Deliver(from, msg)
-		if n.Tap != nil {
-			n.Tap(env, n.eng.Now())
-		}
-	})
+	name := "deliver"
+	if recording {
+		name = "deliver:" + msg.Describe()
+	}
+	var d *deliverArg
+	if k := len(n.freeArgs); k > 0 {
+		d = n.freeArgs[k-1]
+		n.freeArgs[k-1] = nil
+		n.freeArgs = n.freeArgs[:k-1]
+	} else {
+		d = &deliverArg{}
+	}
+	d.net = n
+	d.dst = dst
+	d.env = env
+	d.delay = delay
+	n.eng.ScheduleArgIn(delay, name, deliver, d)
 }
 
-// Broadcast sends msg from one participant to every other registered node.
+// Broadcast sends msg from one participant to every other registered node,
+// in sorted node-ID order so that the per-message sequence numbers and delay
+// draws are identical on every run.
 func (n *Network) Broadcast(from string, msg Message) {
-	for id := range n.nodes {
+	for _, id := range n.ids {
 		if id != from {
 			n.Send(from, id, msg)
 		}

@@ -187,3 +187,94 @@ func TestPropertySynchronousBound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNodeIDsSorted(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, Synchronous{Min: 1, Max: 1}, nil)
+	for _, id := range []string{"delta", "alpha", "charlie", "bravo"} {
+		net.Register(&FuncNode{Id: id})
+	}
+	got := net.NodeIDs()
+	want := []string{"alpha", "bravo", "charlie", "delta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NodeIDs = %v, want sorted %v", got, want)
+		}
+	}
+}
+
+// TestBroadcastDeterministic is the regression test for the map-iteration
+// broadcast bug: per-message sequence numbers and delay draws follow send
+// order, so broadcasting in Go map order made traces differ between runs.
+// The same broadcast scenario — with nodes registered in different orders —
+// must now produce byte-identical traces.
+func TestBroadcastDeterministic(t *testing.T) {
+	run := func(order []string) string {
+		eng := sim.NewEngine(7)
+		tr := trace.New()
+		net := New(eng, Synchronous{Min: 1, Max: 20 * sim.Millisecond}, tr)
+		for _, id := range order {
+			net.Register(&FuncNode{Id: id})
+		}
+		net.Broadcast("n0", RawMessage{Label: "round"})
+		net.Broadcast("n3", RawMessage{Label: "round"})
+		eng.Run(0)
+		return tr.String()
+	}
+	base := run([]string{"n0", "n1", "n2", "n3", "n4"})
+	for i := 0; i < 10; i++ {
+		if got := run([]string{"n4", "n2", "n0", "n3", "n1"}); got != base {
+			t.Fatalf("broadcast trace depends on registration order:\n--- want ---\n%s--- got ---\n%s", base, got)
+		}
+	}
+}
+
+func TestMutedSendZeroAllocs(t *testing.T) {
+	// Regression for the zero-allocation hot path: with the trace muted, a
+	// Send (including its scheduled delivery) must not allocate — no label
+	// formatting, no boxed events, no capturing closures.
+	eng := sim.NewEngine(1)
+	tr := trace.New()
+	tr.Mute()
+	net := New(eng, Synchronous{Min: 1, Max: 1}, tr)
+	net.Register(&FuncNode{Id: "a"})
+	net.Register(&FuncNode{Id: "b"})
+	// Pre-boxed: a value-typed message would add one caller-side interface
+	// boxing per Send, which is outside the network path under test.
+	var msg Message = RawMessage{Label: "m"}
+	// Warm-up fills the event and deliver-arg pools.
+	for i := 0; i < 100; i++ {
+		net.Send("a", "b", msg)
+		eng.Run(0)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		net.Send("a", "b", msg)
+		eng.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("muted Send+deliver allocates %.1f objects per message, want 0", allocs)
+	}
+}
+
+func TestMutedSendSkipsDescribe(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := trace.New()
+	tr.Mute()
+	net := New(eng, Synchronous{Min: 1, Max: 1}, tr)
+	net.Register(&FuncNode{Id: "a"})
+	net.Register(&FuncNode{Id: "b"})
+	calls := 0
+	net.Send("a", "b", countingMessage{calls: &calls})
+	eng.Run(0)
+	if calls != 0 {
+		t.Fatalf("muted send called Describe %d times, want 0", calls)
+	}
+}
+
+// countingMessage counts Describe invocations.
+type countingMessage struct{ calls *int }
+
+func (c countingMessage) Describe() string {
+	*c.calls++
+	return "counted"
+}

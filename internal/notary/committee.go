@@ -354,7 +354,9 @@ func (p *notaryProc) moveToView(v int) {
 	}
 	d := p.deps()
 	p.view = v
-	d.Tr.Add(d.Eng.Now(), trace.KindConsensus, p.id, "", fmt.Sprintf("view-change to %d", v))
+	if d.Tr.Recording() {
+		d.Tr.Add(d.Eng.Now(), trace.KindConsensus, p.id, "", fmt.Sprintf("view-change to %d", v))
+	}
 	vc := MsgViewChange{PaymentID: d.PaymentID, NewView: v, Voter: p.id, Locked: p.lock, LockView: p.lockView}
 	for _, nid := range p.committee.ids {
 		if nid != p.id {
@@ -412,7 +414,9 @@ func (p *notaryProc) maybePropose() {
 	p.proposedView[p.view] = true
 	send := func(dec sig.Decision, lv int) {
 		pp := MsgPrePrepare{PaymentID: d.PaymentID, Decision: dec, View: p.view, Leader: p.id, LockView: lv}
-		d.Tr.Add(d.Eng.Now(), trace.KindConsensus, p.id, "", fmt.Sprintf("propose %s in view %d", dec, p.view))
+		if d.Tr.Recording() {
+			d.Tr.Add(d.Eng.Now(), trace.KindConsensus, p.id, "", fmt.Sprintf("propose %s in view %d", dec, p.view))
+		}
 		for _, nid := range p.committee.ids {
 			if nid != p.id {
 				d.Net.Send(p.id, nid, pp)
@@ -556,7 +560,7 @@ func (p *notaryProc) onCommitVote(m MsgCommitVote) {
 	}
 	cert := sig.NewCommitteeDecisionCert(d.Kr, d.PaymentID, m.Decision, core.ManagerID, d.Eng.Now(), signers, p.committee.quorum)
 	p.adopt(cert)
-	d.Tr.Add(d.Eng.Now(), trace.KindDecision, p.id, "", cert.Describe())
+	d.Tr.AddLazy(d.Eng.Now(), trace.KindDecision, p.id, "", cert.Describe)
 	if p.fault.WithholdCertificate {
 		return
 	}

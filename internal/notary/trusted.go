@@ -122,7 +122,7 @@ func (t *Trusted) issue(d sig.Decision) {
 		case sig.DecisionAbort:
 			t.abortIssued = true
 		}
-		t.deps.Tr.Add(t.deps.Eng.Now(), trace.KindDecision, core.ManagerID, "", cert.Describe())
+		t.deps.Tr.AddLazy(t.deps.Eng.Now(), trace.KindDecision, core.ManagerID, "", cert.Describe)
 		if t.fault.WithholdCertificate {
 			return // decided internally but never tells anyone
 		}

@@ -5,10 +5,15 @@
 // a pure function of its inputs (scenario parameters and RNG seed). This is
 // what lets the property checkers in internal/check and the exhaustive
 // explorer in internal/explore reason about executions.
+//
+// The kernel is written for the muted hot path: every experiment sweep and
+// traffic run schedules and fires millions of events, so the event queue is
+// a hand-rolled min-heap over a free list of event records. Scheduling with
+// a pre-bound argument (ScheduleArgAt) reuses a pooled record and performs
+// no heap allocation in steady state.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -46,59 +51,48 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Millis converts t to floating-point milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
-// Event is a scheduled callback.
-type Event struct {
-	// At is the virtual time at which the event fires.
-	At Time
-	// Name is an optional label used in traces and debugging.
-	Name string
-	// Fn is the callback invoked when the event fires.
-	Fn func()
+// event is a scheduled callback record. Records are owned by the engine and
+// recycled through a free list once fired or discarded, so external code
+// never holds one directly; Timer is the caller-facing handle.
+type event struct {
+	at   Time
+	name string
+	// Exactly one of fn / argFn is set. argFn with a pre-bound argument lets
+	// hot callers (the network's delivery path) schedule without creating a
+	// capturing closure.
+	fn    func()
+	argFn func(any)
+	arg   any
 
 	seq      uint64 // tie-breaker for deterministic ordering
+	gen      uint64 // incremented on recycle; stale Timers no longer match
 	canceled bool
-	index    int // heap index, -1 when not queued
+}
+
+// Timer is a cancelable handle to a scheduled event. The zero value is an
+// inert timer: Cancel and Canceled are no-ops on it. A Timer whose event has
+// already fired (or was discarded) is stale, and canceling it is a no-op —
+// the underlying record may already describe a different, later event.
+type Timer struct {
+	eng *Engine
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents a pending event from firing. Canceling an event that has
 // already fired or was already canceled is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled {
+		t.ev.canceled = true
+		t.eng.live--
 	}
 }
 
-// Canceled reports whether the event has been canceled.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
-
-// eventQueue is a min-heap ordered by (At, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// Canceled reports whether the event is still pending but canceled. It
+// returns false for the zero Timer and for stale timers whose event already
+// fired or was discarded.
+func (t Timer) Canceled() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.canceled
 }
 
 // Engine is a single-run simulation engine. It is not safe for concurrent
@@ -106,7 +100,9 @@ func (q *eventQueue) Pop() any {
 // Parallelism in this repository happens across independent runs.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	heap    []*event // min-heap ordered by (at, seq)
+	free    []*event // recycled records ready for reuse
+	live    int      // pending events that are not canceled
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -136,27 +132,129 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Pending returns the number of events currently waiting in the queue
 // (including canceled events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
-// ScheduleAt registers fn to run at absolute virtual time at. Scheduling in
-// the past is clamped to "now": the event fires before time advances further.
-func (e *Engine) ScheduleAt(at Time, name string, fn func()) *Event {
+// Live returns the number of pending events that have not been canceled.
+func (e *Engine) Live() int { return e.live }
+
+// less orders the heap by (at, seq): virtual time first, scheduling order as
+// the deterministic tie-breaker.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the heap (sift-up).
+func (e *Engine) push(ev *event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// popRoot removes and returns the heap's minimum (sift-down).
+func (e *Engine) popRoot() *event {
+	root := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && less(e.heap[right], e.heap[left]) {
+			smallest = right
+		}
+		if !less(e.heap[smallest], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+	return root
+}
+
+// recycle invalidates all Timers pointing at ev and returns the record to
+// the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.name = ""
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
+
+// schedule is the common scheduling path. Records come from the free list,
+// so in steady state the only allocation is whatever closure (if any) the
+// caller built for fn.
+func (e *Engine) schedule(at Time, name string, fn func(), argFn func(any), arg any) Timer {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
 	e.scheduled++
-	ev := &Event{At: at, Name: name, Fn: fn, seq: e.seq, index: -1}
-	heap.Push(&e.queue, ev)
-	return ev
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.name = name
+	ev.fn = fn
+	ev.argFn = argFn
+	ev.arg = arg
+	ev.seq = e.seq
+	ev.canceled = false
+	e.push(ev)
+	e.live++
+	return Timer{eng: e, ev: ev, gen: ev.gen}
+}
+
+// ScheduleAt registers fn to run at absolute virtual time at. Scheduling in
+// the past is clamped to "now": the event fires before time advances further.
+func (e *Engine) ScheduleAt(at Time, name string, fn func()) Timer {
+	return e.schedule(at, name, fn, nil, nil)
 }
 
 // ScheduleIn registers fn to run after delay d from the current time.
-func (e *Engine) ScheduleIn(d Time, name string, fn func()) *Event {
+func (e *Engine) ScheduleIn(d Time, name string, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return e.ScheduleAt(e.now+d, name, fn)
+	return e.schedule(e.now+d, name, fn, nil, nil)
+}
+
+// ScheduleArgAt registers fn(arg) to run at absolute virtual time at. Unlike
+// ScheduleAt, fn can be a non-capturing (package-level) function with all
+// per-event state pre-bound in arg, so the hot path allocates nothing: arg
+// is typically a pointer into a caller-managed pool, and boxing a pointer
+// into an interface does not allocate.
+func (e *Engine) ScheduleArgAt(at Time, name string, fn func(any), arg any) Timer {
+	return e.schedule(at, name, nil, fn, arg)
+}
+
+// ScheduleArgIn registers fn(arg) to run after delay d from the current time.
+func (e *Engine) ScheduleArgIn(d Time, name string, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now+d, name, nil, fn, arg)
 }
 
 // Stop halts the run: Run returns after the currently executing event
@@ -172,19 +270,29 @@ func (e *Engine) step(until Time) bool {
 	if e.stopped {
 		return false
 	}
-	for len(e.queue) > 0 {
-		next := e.queue[0]
+	for len(e.heap) > 0 {
+		next := e.heap[0]
 		if next.canceled {
-			heap.Pop(&e.queue)
+			e.recycle(e.popRoot())
 			continue
 		}
-		if next.At > until {
+		if next.at > until {
 			return false
 		}
-		heap.Pop(&e.queue)
-		e.now = next.At
+		e.popRoot()
+		e.now = next.at
 		e.fired++
-		next.Fn()
+		e.live--
+		// Copy the callback out and recycle before invoking: the callback may
+		// itself schedule (reusing this record) or cancel its own stale Timer,
+		// both of which are safe once the generation has been bumped.
+		fn, argFn, arg := next.fn, next.argFn, next.arg
+		e.recycle(next)
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -217,25 +325,20 @@ func (e *Engine) RunUntil(until Time, maxEvents uint64) (Time, uint64) {
 	return e.now, fired
 }
 
-// Drained reports whether no live (non-canceled) events remain.
-func (e *Engine) Drained() bool {
-	for _, ev := range e.queue {
-		if !ev.canceled {
-			return false
-		}
-	}
-	return true
-}
+// Drained reports whether no live (non-canceled) events remain. The engine
+// counts cancellations as they happen, so this is O(1).
+func (e *Engine) Drained() bool { return e.live == 0 }
 
 // NextEventTime returns the firing time of the earliest live pending event,
-// or Never if none remain.
+// or Never if none remain. Canceled events reaching the heap root are
+// discarded eagerly, so cancel-heavy workloads do not accumulate dead
+// records at the front of the queue.
 func (e *Engine) NextEventTime() Time {
-	// The heap root may be canceled; scan lazily without disturbing order.
-	best := Never
-	for _, ev := range e.queue {
-		if !ev.canceled && ev.At < best {
-			best = ev.At
-		}
+	for len(e.heap) > 0 && e.heap[0].canceled {
+		e.recycle(e.popRoot())
 	}
-	return best
+	if len(e.heap) == 0 {
+		return Never
+	}
+	return e.heap[0].at
 }

@@ -176,3 +176,123 @@ func TestPropertyVirtualTimeMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStaleTimerCancelIsNoOp(t *testing.T) {
+	// Event records are pooled: after an event fires, its record may be
+	// reused by a later ScheduleAt. A Timer held across the firing must not
+	// be able to cancel the record's new occupant.
+	eng := NewEngine(1)
+	first := eng.ScheduleAt(10, "first", func() {})
+	eng.Run(0)
+	fired := false
+	eng.ScheduleAt(20, "second", func() { fired = true })
+	first.Cancel() // stale: the record now belongs to "second"
+	if first.Canceled() {
+		t.Fatal("stale timer reports Canceled")
+	}
+	eng.Run(0)
+	if !fired {
+		t.Fatal("stale Cancel killed a live event")
+	}
+}
+
+func TestZeroTimerIsInert(t *testing.T) {
+	var tm Timer
+	tm.Cancel()
+	if tm.Canceled() {
+		t.Fatal("zero Timer reports Canceled")
+	}
+}
+
+func TestNextEventTimeDiscardsCanceledRoot(t *testing.T) {
+	eng := NewEngine(1)
+	early := eng.ScheduleAt(10, "early", func() {})
+	eng.ScheduleAt(500, "late", func() {})
+	early.Cancel()
+	if got := eng.NextEventTime(); got != 500 {
+		t.Fatalf("NextEventTime = %v, want 500", got)
+	}
+	// The canceled root must have been discarded, not merely skipped.
+	if eng.Pending() != 1 {
+		t.Fatalf("Pending = %d after discard, want 1", eng.Pending())
+	}
+}
+
+func TestCancelHeavyWorkload(t *testing.T) {
+	// Timeout-heavy protocols cancel most of their timers. The engine must
+	// keep Drained O(1), discard dead records as they surface, and still
+	// fire the surviving events in order.
+	eng := NewEngine(1)
+	const n = 10000
+	timers := make([]Timer, 0, n)
+	var fired []Time
+	for i := 1; i <= n; i++ {
+		at := Time(i)
+		timers = append(timers, eng.ScheduleAt(at, "timer", func() { fired = append(fired, at) }))
+	}
+	for i, tm := range timers {
+		if i%100 != 0 { // cancel 99% of them
+			tm.Cancel()
+		}
+	}
+	if eng.Live() != n/100 {
+		t.Fatalf("Live = %d, want %d", eng.Live(), n/100)
+	}
+	if eng.Drained() {
+		t.Fatal("Drained with live events pending")
+	}
+	if got := eng.NextEventTime(); got != 1 {
+		t.Fatalf("NextEventTime = %v, want 1", got)
+	}
+	_, count := eng.Run(0)
+	if count != n/100 || len(fired) != n/100 {
+		t.Fatalf("fired %d events (callbacks %d), want %d", count, len(fired), n/100)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatalf("events out of order: %v then %v", fired[i-1], fired[i])
+		}
+	}
+	if !eng.Drained() || eng.Pending() != 0 {
+		t.Fatalf("queue not empty after run: live=%d pending=%d", eng.Live(), eng.Pending())
+	}
+}
+
+func TestScheduleAtAllocs(t *testing.T) {
+	// Regression for the pooled event heap: in steady state, scheduling and
+	// firing an event must not allocate beyond the caller's own closure.
+	eng := NewEngine(1)
+	fn := func() {}
+	// Warm-up fills the free list and the heap's backing array.
+	for i := 0; i < 100; i++ {
+		eng.ScheduleAt(eng.Now()+1, "warmup", fn)
+		eng.Run(0)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.ScheduleAt(eng.Now()+1, "tick", fn)
+		eng.Run(0)
+	})
+	if allocs > 1 {
+		t.Fatalf("ScheduleAt+fire allocates %.1f objects per event, want <= 1", allocs)
+	}
+}
+
+func TestScheduleArgAtAllocs(t *testing.T) {
+	// The arg-based entry point exists so hot callers can pre-bind all state
+	// and hit a strictly allocation-free path.
+	eng := NewEngine(1)
+	type payload struct{ n int }
+	arg := &payload{}
+	fn := func(x any) { x.(*payload).n++ }
+	for i := 0; i < 100; i++ {
+		eng.ScheduleArgAt(eng.Now()+1, "warmup", fn, arg)
+		eng.Run(0)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.ScheduleArgAt(eng.Now()+1, "tick", fn, arg)
+		eng.Run(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleArgAt+fire allocates %.1f objects per event, want 0", allocs)
+	}
+}

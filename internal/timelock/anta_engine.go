@@ -139,7 +139,7 @@ func (ae *antaEngine) buildEscrow(i int) *anta.Automaton {
 						return
 					}
 					g := sig.NewGuarantee(e.kr, e.scn.Spec.PaymentID, id, up, e.params.D[i], ctx.Now())
-					e.tr.Add(e.eng.Now(), trace.KindPromise, id, up, g.Describe())
+					e.tr.AddLazy(e.eng.Now(), trace.KindPromise, id, up, g.Describe)
 					ctx.Send(up, MsgGuarantee{G: g})
 				},
 			},
@@ -166,7 +166,7 @@ func (ae *antaEngine) buildEscrow(i int) *anta.Automaton {
 						return
 					}
 					p := sig.NewPromise(e.kr, e.scn.Spec.PaymentID, id, down, e.params.A[i], e.params.Epsilon, ctx.Now())
-					e.tr.Add(e.eng.Now(), trace.KindPromise, id, down, p.Describe())
+					e.tr.AddLazy(e.eng.Now(), trace.KindPromise, id, down, p.Describe)
 					ctx.Send(down, MsgPromise{P: p})
 				},
 			},
@@ -189,7 +189,7 @@ func (ae *antaEngine) buildEscrow(i int) *anta.Automaton {
 						Action: func(ctx *anta.Context) {
 							m := ctx.Msg.(MsgCert)
 							receivedCert = m.Cert
-							e.tr.Add(e.eng.Now(), trace.KindCert, id, down, m.Cert.Describe())
+							e.tr.AddLazy(e.eng.Now(), trace.KindCert, id, down, m.Cert.Describe)
 						},
 					},
 					{
@@ -342,7 +342,7 @@ func (ae *antaEngine) buildCustomer(i int) {
 						if adapter.started == 0 {
 							adapter.started = e.eng.Now()
 						}
-						e.tr.Add(e.eng.Now(), trace.KindCert, id, upEscrow, cert.Describe())
+						e.tr.AddLazy(e.eng.Now(), trace.KindCert, id, upEscrow, cert.Describe)
 						ctx.Send(upEscrow, MsgCert{Cert: cert})
 					},
 				},

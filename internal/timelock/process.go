@@ -105,7 +105,7 @@ type escrowProc struct {
 	lockCreated bool
 	lockID      string
 	promiseAt   sim.Time // local time u at which P(a_i) was issued
-	timeout     *sim.Event
+	timeout     sim.Timer
 	settled     bool // the lock has been released or refunded (or stolen)
 	crashed     bool
 	done        bool
@@ -143,7 +143,7 @@ func (p *escrowProc) start() {
 			return
 		}
 		g := sig.NewGuarantee(p.env.kr, p.env.scn.Spec.PaymentID, p.id, p.up, d, p.clk.Now())
-		p.env.tr.Add(p.env.eng.Now(), trace.KindPromise, p.id, p.up, g.Describe())
+		p.env.tr.AddLazy(p.env.eng.Now(), trace.KindPromise, p.id, p.up, g.Describe)
 		p.env.net.Send(p.id, p.up, MsgGuarantee{G: g})
 	})
 }
@@ -201,7 +201,7 @@ func (p *escrowProc) onMoney(from string, m MsgMoney) {
 		a := p.env.params.A[p.i]
 		p.promiseAt = p.clk.Now()
 		pr := sig.NewPromise(p.env.kr, p.env.scn.Spec.PaymentID, p.id, p.down, a, p.env.params.Epsilon, p.promiseAt)
-		p.env.tr.Add(p.env.eng.Now(), trace.KindPromise, p.id, p.down, pr.Describe())
+		p.env.tr.AddLazy(p.env.eng.Now(), trace.KindPromise, p.id, p.down, pr.Describe)
 		p.env.net.Send(p.id, p.down, MsgPromise{P: pr})
 		// Arm the timeout: now >= u + a_i triggers the refund branch.
 		p.timeout = p.clk.ScheduleAtLocal(p.promiseAt+a, p.id+":timeout", p.onTimeout)
@@ -226,10 +226,8 @@ func (p *escrowProc) onCert(from string, m MsgCert) {
 		return // timeout branch wins; onTimeout will refund
 	}
 	p.settled = true
-	if p.timeout != nil {
-		p.timeout.Cancel()
-	}
-	p.env.tr.Add(p.env.eng.Now(), trace.KindCert, p.id, from, m.Cert.Describe())
+	p.timeout.Cancel()
+	p.env.tr.AddLazy(p.env.eng.Now(), trace.KindCert, p.id, from, m.Cert.Describe)
 
 	if p.fault.StealEscrow {
 		// A thieving escrow accepts the certificate but neither forwards it
@@ -265,7 +263,9 @@ func (p *escrowProc) onTimeout() {
 		return
 	}
 	p.settled = true
-	p.env.tr.Add(p.env.eng.Now(), trace.KindTimeout, p.id, "", fmt.Sprintf("a_%d expired", p.i))
+	if p.env.tr.Recording() {
+		p.env.tr.Add(p.env.eng.Now(), trace.KindTimeout, p.id, "", fmt.Sprintf("a_%d expired", p.i))
+	}
 	if p.fault.StealEscrow {
 		p.env.tr.Add(p.env.eng.Now(), trace.KindByzantine, p.id, "", "steal-escrow")
 		p.done = true
@@ -457,7 +457,7 @@ func (c *customerProc) bobIssueChi() {
 				c.started = c.env.eng.Now()
 			}
 		}
-		c.env.tr.Add(c.env.eng.Now(), trace.KindCert, c.id, c.upEscrow, cert.Describe())
+		c.env.tr.AddLazy(c.env.eng.Now(), trace.KindCert, c.id, c.upEscrow, cert.Describe)
 		c.env.net.Send(c.id, c.upEscrow, MsgCert{Cert: cert})
 	})
 }
@@ -497,7 +497,7 @@ func (c *customerProc) onCert(from string, m MsgCert) {
 		return
 	}
 	c.hasChi = true
-	c.env.tr.Add(c.env.eng.Now(), trace.KindCert, c.id, from, "received "+m.Cert.Describe())
+	c.env.tr.AddLazy(c.env.eng.Now(), trace.KindCert, c.id, from, func() string { return "received " + m.Cert.Describe() })
 	if c.isAlice() {
 		c.terminate("has-certificate")
 		return

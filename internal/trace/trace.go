@@ -89,6 +89,11 @@ func (t *Trace) Mute() { t.muted = true }
 // Muted reports whether the trace is muted.
 func (t *Trace) Muted() bool { return t.muted }
 
+// Recording reports whether appended events are actually kept. Hot paths
+// guard label formatting behind this predicate so that a muted run never
+// pays for building description strings.
+func (t *Trace) Recording() bool { return !t.muted }
+
 // Append adds an event, assigning its sequence number, and returns it.
 func (t *Trace) Append(ev Event) Event {
 	if t.muted {
@@ -107,6 +112,32 @@ func (t *Trace) Add(at sim.Time, kind Kind, actor, peer, label string) Event {
 // AddValue records an event carrying a value amount.
 func (t *Trace) AddValue(at sim.Time, kind Kind, actor, peer, label string, value int64) Event {
 	return t.Append(Event{At: at, Kind: kind, Actor: actor, Peer: peer, Label: label, Value: value})
+}
+
+// AddLazy records an event whose label is built on demand: the label
+// callback is only invoked when the trace is live, so muted runs skip the
+// string formatting entirely. A nil callback records an empty label.
+func (t *Trace) AddLazy(at sim.Time, kind Kind, actor, peer string, label func() string) Event {
+	if t.muted {
+		return Event{}
+	}
+	var l string
+	if label != nil {
+		l = label()
+	}
+	return t.Append(Event{At: at, Kind: kind, Actor: actor, Peer: peer, Label: l})
+}
+
+// AddValueLazy is AddLazy for events carrying a value amount.
+func (t *Trace) AddValueLazy(at sim.Time, kind Kind, actor, peer string, label func() string, value int64) Event {
+	if t.muted {
+		return Event{}
+	}
+	var l string
+	if label != nil {
+		l = label()
+	}
+	return t.Append(Event{At: at, Kind: kind, Actor: actor, Peer: peer, Label: l, Value: value})
 }
 
 // Events returns the recorded events in order. The returned slice is the

@@ -222,7 +222,7 @@ func newLiquidityBook(s core.Scenario, w Workload, payments []*payment) *ledger.
 // queued is one payment waiting for liquidity.
 type queued struct {
 	p      *payment
-	expiry *sim.Event
+	expiry sim.Timer
 }
 
 // runTimeline replays arrivals, admission, queuing and settlement on a

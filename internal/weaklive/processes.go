@@ -198,7 +198,7 @@ func (p *escrowProc) settle(cert sig.DecisionCert) {
 				}
 			}
 		}
-		p.run.tr.Add(p.run.eng.Now(), trace.KindTerminate, p.id, "", "settled-"+string(decision))
+		p.run.tr.AddLazy(p.run.eng.Now(), trace.KindTerminate, p.id, "", func() string { return "settled-" + string(decision) })
 	})
 }
 
@@ -330,12 +330,12 @@ func (c *customerProc) onDecision(m notary.MsgDecision) {
 	case sig.DecisionCommit:
 		if !c.hasCommit {
 			c.hasCommit = true
-			c.run.tr.Add(c.run.eng.Now(), trace.KindCert, c.id, "", "holds "+m.Cert.Describe())
+			c.run.tr.AddLazy(c.run.eng.Now(), trace.KindCert, c.id, "", func() string { return "holds " + m.Cert.Describe() })
 		}
 	case sig.DecisionAbort:
 		if !c.hasAbort {
 			c.hasAbort = true
-			c.run.tr.Add(c.run.eng.Now(), trace.KindCert, c.id, "", "holds "+m.Cert.Describe())
+			c.run.tr.AddLazy(c.run.eng.Now(), trace.KindCert, c.id, "", func() string { return "holds " + m.Cert.Describe() })
 		}
 	}
 	c.maybeTerminate()
