@@ -26,8 +26,11 @@
 //	-max-queue 0       queued-payment cap (0 = unbounded)
 //	-fault c1=silent   comma-separated participant=behaviour pairs
 //	-workers 0         worker-pool size (0 = one per CPU; results identical)
+//	-stream            bounded-memory pipeline: peak memory independent of
+//	                   -payments (aggregates only; identical counts/rates)
+//	-exemplars 10      payments kept as a reservoir sample with -stream
 //	-sweep-seeds 0     additionally sweep this many seeds in parallel
-//	-v                 print one line per payment
+//	-v                 print one line per payment (the exemplars with -stream)
 package main
 
 import (
@@ -73,8 +76,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxQueue    = fs.Int("max-queue", 0, "queued-payment cap (0 = unbounded)")
 		faults      = fs.String("fault", "", "comma-separated participant=behaviour pairs, e.g. c1=silent")
 		workers     = fs.Int("workers", 0, "worker-pool size (0 = one per CPU)")
+		stream      = fs.Bool("stream", false, "bounded-memory streaming pipeline (aggregates only)")
+		exemplars   = fs.Int("exemplars", 10, "payments kept as a reservoir sample with -stream")
 		sweepSeeds  = fs.Int("sweep-seeds", 0, "additionally sweep this many seeds in parallel")
-		verbose     = fs.Bool("v", false, "print one line per payment")
+		verbose     = fs.Bool("v", false, "print one line per payment (the exemplars with -stream)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -129,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cfg := xchainpay.TrafficConfig{Workers: *workers}
+	cfg := xchainpay.TrafficConfig{Workers: *workers, Stream: *stream, Exemplars: *exemplars}
 	if *sweepSeeds > 1 {
 		seeds := make([]int64, *sweepSeeds)
 		for i := range seeds {

@@ -87,7 +87,7 @@ func RunE9(cfg Config) *Table {
 					t.AddNote("%s n=%d: AUDIT FAILED: %v", cell.name, n, o.Result.AuditErr)
 					continue
 				}
-				total := float64(len(o.Result.Payments))
+				total := float64(o.Result.Total)
 				success.Add(float64(o.Result.Succeeded) / total)
 				rejected.Add(float64(o.Result.Rejected) / total)
 				dropped.Add(float64(o.Result.Dropped) / total)

@@ -102,7 +102,10 @@ type Ledger struct {
 	accounts map[string]int64
 	locks    map[string]*Lock
 	ops      []Op
+	opCount  int
 	minted   int64
+	compact  bool
+	settled  int // settled locks forgotten under compaction
 }
 
 // New creates an empty ledger named name (normally the escrow's ID).
@@ -116,6 +119,24 @@ func New(name string) *Ledger {
 
 // Name returns the ledger's name.
 func (l *Ledger) Name() string { return l.name }
+
+// SetCompact toggles compaction: when on, settled (released or refunded)
+// locks are forgotten immediately and operations are counted but not
+// retained in the log, so the ledger's memory is proportional to its
+// accounts plus *pending* locks rather than to its full history. Audit,
+// Balance, PendingLocks, EscrowedTotal and OpCount are unaffected —
+// conservation of value is checked against balances and pending escrow,
+// neither of which compaction touches. Long-running traffic ledgers enable
+// this; single-payment protocol runs keep the full history for the
+// property checkers and traces.
+func (l *Ledger) SetCompact(on bool) { l.compact = on }
+
+// Compact reports whether compaction is enabled.
+func (l *Ledger) Compact() bool { return l.compact }
+
+// SettledForgotten returns the number of settled locks dropped under
+// compaction.
+func (l *Ledger) SettledForgotten() int { return l.settled }
 
 // CreateAccount registers an account with a zero balance.
 func (l *Ledger) CreateAccount(owner string) error {
@@ -249,6 +270,7 @@ func (l *Ledger) Release(at sim.Time, id string, preimage []byte, localNow sim.T
 	lk.SettledAt = at
 	l.accounts[lk.Payee] += lk.Amount
 	l.log(Op{At: at, Kind: OpRelease, From: lk.Payer, To: lk.Payee, Amount: lk.Amount, LockID: id})
+	l.forget(id)
 	return nil
 }
 
@@ -269,15 +291,32 @@ func (l *Ledger) Refund(at sim.Time, id string, localNow sim.Time) error {
 	lk.SettledAt = at
 	l.accounts[lk.Payer] += lk.Amount
 	l.log(Op{At: at, Kind: OpRefund, From: lk.Payer, To: lk.Payer, Amount: lk.Amount, LockID: id})
+	l.forget(id)
 	return nil
 }
 
-// Ops returns the operation log.
+// forget drops a settled lock under compaction.
+func (l *Ledger) forget(id string) {
+	if l.compact {
+		delete(l.locks, id)
+		l.settled++
+	}
+}
+
+// Ops returns the retained operation log (empty under compaction; see
+// OpCount for the total).
 func (l *Ledger) Ops() []Op { return l.ops }
 
+// OpCount returns the total number of operations ever logged, retained or
+// not.
+func (l *Ledger) OpCount() int { return l.opCount }
+
 func (l *Ledger) log(op Op) {
-	op.Seq = len(l.ops)
-	l.ops = append(l.ops, op)
+	op.Seq = l.opCount
+	l.opCount++
+	if !l.compact {
+		l.ops = append(l.ops, op)
+	}
 }
 
 // EscrowedTotal returns the total value currently held in pending locks.
@@ -409,12 +448,13 @@ func (b *Book) AuditAll() error {
 	return nil
 }
 
-// TotalOps returns the total number of operations logged across all ledgers;
-// the cost experiments report it as "ledger operations".
+// TotalOps returns the total number of operations logged across all ledgers
+// (including operations whose log entries compaction dropped); the cost
+// experiments report it as "ledger operations".
 func (b *Book) TotalOps() int {
 	total := 0
 	for _, l := range b.ledgers {
-		total += len(l.ops)
+		total += l.opCount
 	}
 	return total
 }

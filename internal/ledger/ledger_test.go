@@ -2,6 +2,7 @@ package ledger
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -261,5 +262,88 @@ func TestPropertyConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCompaction checks the constant-memory mode used by traffic ledgers:
+// settled locks are forgotten and ops are counted but not retained, while
+// balances, pending locks and the conservation audit are unaffected.
+func TestCompaction(t *testing.T) {
+	full := New("e0")
+	compact := New("e0")
+	compact.SetCompact(true)
+	if full.Compact() || !compact.Compact() {
+		t.Fatal("compaction flag wrong")
+	}
+	for _, l := range []*Ledger{full, compact} {
+		if err := l.Mint(0, "alice", 10_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.CreateAccount("bob"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			id := fmt.Sprintf("lk%d", i)
+			if _, err := l.CreateLock(sim.Time(i), id, "alice", "bob", 10, Condition{}); err != nil {
+				t.Fatal(err)
+			}
+			var err error
+			if i%2 == 0 {
+				err = l.Release(sim.Time(i+1), id, nil, sim.Time(i+1))
+			} else {
+				err = l.Refund(sim.Time(i+1), id, sim.Time(i+1))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := l.CreateLock(1000, "pending", "alice", "bob", 7, Condition{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Identical observable state...
+	if full.Balance("alice") != compact.Balance("alice") || full.Balance("bob") != compact.Balance("bob") {
+		t.Fatal("balances diverge under compaction")
+	}
+	if full.EscrowedTotal() != compact.EscrowedTotal() || compact.EscrowedTotal() != 7 {
+		t.Fatal("pending escrow diverges under compaction")
+	}
+	if len(full.PendingLocks()) != 1 || len(compact.PendingLocks()) != 1 {
+		t.Fatal("pending locks diverge under compaction")
+	}
+	if full.OpCount() != compact.OpCount() {
+		t.Fatalf("op counts diverge: %d vs %d", full.OpCount(), compact.OpCount())
+	}
+	if err := full.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := compact.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	// ...but history is dropped: only the pending lock and no ops retained.
+	if got := len(compact.Locks()); got != 1 {
+		t.Fatalf("compacted ledger retains %d locks, want 1", got)
+	}
+	if got := len(compact.Ops()); got != 0 {
+		t.Fatalf("compacted ledger retains %d ops, want 0", got)
+	}
+	if compact.SettledForgotten() != 100 {
+		t.Fatalf("forgot %d settled locks, want 100", compact.SettledForgotten())
+	}
+	if got := len(full.Locks()); got != 101 {
+		t.Fatalf("full ledger retains %d locks, want 101", got)
+	}
+	if len(full.Ops()) != full.OpCount() {
+		t.Fatal("full ledger op log incomplete")
+	}
+	// A forgotten lock ID cannot be settled twice.
+	if err := compact.Release(2000, "lk0", nil, 2000); !errors.Is(err, ErrNoSuchLock) {
+		t.Fatalf("double settle of forgotten lock = %v", err)
+	}
+	// Book.TotalOps counts dropped entries too.
+	b := NewBook()
+	b.Add(compact)
+	if b.TotalOps() != compact.OpCount() {
+		t.Fatal("TotalOps ignores compacted ops")
 	}
 }

@@ -325,6 +325,32 @@ func (e *Engine) RunUntil(until Time, maxEvents uint64) (Time, uint64) {
 	return e.now, fired
 }
 
+// RunBefore processes every event with firing time strictly earlier than t,
+// subject to the same termination conditions as Run, then advances virtual
+// time to t. It lets a driver inject externally-sourced work at time t ahead
+// of any already-scheduled event at the same instant — the streaming traffic
+// timeline uses it to interleave arrivals with settlements exactly as if all
+// arrivals had been scheduled before the run started.
+func (e *Engine) RunBefore(t Time, maxEvents uint64) (Time, uint64) {
+	var fired uint64
+	for {
+		if maxEvents > 0 && fired >= maxEvents {
+			break
+		}
+		if !e.step(t - 1) {
+			break
+		}
+		fired++
+	}
+	// Advance to t only once no earlier event remains (maxEvents may have
+	// stopped the loop short); otherwise the clock would later run
+	// backwards when the leftover events fire.
+	if e.NextEventTime() >= t && e.now < t && !e.stopped {
+		e.now = t
+	}
+	return e.now, fired
+}
+
 // Drained reports whether no live (non-canceled) events remain. The engine
 // counts cancellations as they happen, so this is O(1).
 func (e *Engine) Drained() bool { return e.live == 0 }

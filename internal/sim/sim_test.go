@@ -296,3 +296,84 @@ func TestScheduleArgAtAllocs(t *testing.T) {
 		t.Fatalf("ScheduleArgAt+fire allocates %.1f objects per event, want 0", allocs)
 	}
 }
+
+// TestRunBefore checks the streaming-driver primitive: fire everything
+// strictly before t, advance time to t, and leave events at exactly t
+// pending so externally-injected work at t goes first.
+func TestRunBefore(t *testing.T) {
+	eng := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{5, 10, 10, 15} {
+		at := at
+		eng.ScheduleAt(at, "ev", func() { fired = append(fired, at) })
+	}
+	now, n := eng.RunBefore(10, 0)
+	if n != 1 || len(fired) != 1 || fired[0] != 5 {
+		t.Fatalf("RunBefore(10) fired %v", fired)
+	}
+	if now != 10 || eng.Now() != 10 {
+		t.Fatalf("time advanced to %v, want 10", now)
+	}
+	// Work injected at t=10 now schedules ahead in time order but behind
+	// the two pending t=10 events in sequence order; all fire at 10.
+	eng.ScheduleAt(10, "injected", func() { fired = append(fired, -10) })
+	now, n = eng.RunBefore(15, 0)
+	if n != 3 {
+		t.Fatalf("RunBefore(15) fired %d events", n)
+	}
+	want := []Time{5, 10, 10, -10}
+	for i, at := range want {
+		if fired[i] != at {
+			t.Fatalf("firing order %v, want %v", fired, want)
+		}
+	}
+	if now != 15 {
+		t.Fatalf("time advanced to %v, want 15", now)
+	}
+	// Calling RunBefore for a time already reached is a no-op.
+	if now, n = eng.RunBefore(15, 0); now != 15 || n != 0 {
+		t.Fatalf("redundant RunBefore fired %d at %v", n, now)
+	}
+	eng.Run(0)
+	if fired[len(fired)-1] != 15 {
+		t.Fatalf("final event lost: %v", fired)
+	}
+}
+
+// TestRunBeforeCapped checks that a maxEvents cap never advances time past
+// events still pending before t (the clock must stay monotone).
+func TestRunBeforeCapped(t *testing.T) {
+	eng := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		eng.ScheduleAt(at, "ev", func() { fired = append(fired, at) })
+	}
+	now, n := eng.RunBefore(100, 1)
+	if n != 1 || now != 10 {
+		t.Fatalf("capped RunBefore fired %d, now %v; want 1 at 10", n, now)
+	}
+	end, _ := eng.Run(0)
+	if end != 30 {
+		t.Fatalf("run ended at %v, want 30", end)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("clock ran backwards: %v", fired)
+		}
+	}
+}
+
+// TestRunBeforeZero covers the t=0 edge: nothing fires, time stays at 0.
+func TestRunBeforeZero(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	eng.ScheduleAt(0, "ev", func() { fired = true })
+	if now, n := eng.RunBefore(0, 0); now != 0 || n != 0 || fired {
+		t.Fatalf("RunBefore(0) fired=%v n=%d now=%v", fired, n, now)
+	}
+	eng.Run(0)
+	if !fired {
+		t.Fatal("event at 0 never fired")
+	}
+}

@@ -14,7 +14,8 @@ import (
 )
 
 // Config tunes how a traffic run executes; it never changes what the run
-// computes (results are identical for every worker count).
+// computes (aggregate results are identical for every worker count and for
+// streaming versus materialised execution).
 type Config struct {
 	// Workers bounds the goroutines simulating individual payments. Zero
 	// means runtime.NumCPU(); 1 forces fully serial execution (useful as a
@@ -23,6 +24,22 @@ type Config struct {
 	// Protocols overrides the protocol registry resolving Workload.Mix
 	// names. Nil uses DefaultProtocols.
 	Protocols map[string]core.Protocol
+	// Stream selects the bounded-memory pipeline: generation, per-payment
+	// simulation and the admission timeline run chunk by chunk, so peak
+	// memory is independent of Workload.Payments (it scales with the worker
+	// count and the number of payments simultaneously in flight, not with
+	// the population size). Aggregates are identical to a materialised run.
+	Stream bool
+	// KeepPayments controls whether Result.Payments holds every per-payment
+	// record. Materialised runs (Stream=false) always keep them; streaming
+	// runs drop them by default — retaining streaming aggregates only — and
+	// keep them when this is set (useful to prove mode equivalence, at the
+	// cost of O(Payments) memory).
+	KeepPayments bool
+	// Exemplars, in a streaming run that drops per-payment records, retains
+	// a deterministic reservoir sample of this many payments in
+	// Result.Exemplars so the CLI can still show concrete payments.
+	Exemplars int
 }
 
 // workers resolves the worker count.
@@ -32,6 +49,9 @@ func (c Config) workers() int {
 	}
 	return runtime.NumCPU()
 }
+
+// keep reports whether per-payment records are retained.
+func (c Config) keep() bool { return !c.Stream || c.KeepPayments }
 
 // DefaultProtocols returns the built-in protocol registry for workload
 // mixes. Each instance is stateless across runs and safe to share between
@@ -54,8 +74,19 @@ type subOutcome struct {
 	err      error
 }
 
+// simulateOne runs one payment's protocol simulation; a pure function of
+// (base scenario, payment, registry).
+func simulateOne(base core.Scenario, p *payment, registry map[string]core.Protocol) subOutcome {
+	sub := subScenario(base, p)
+	r, err := registry[p.Protocol].Run(sub)
+	if err != nil {
+		return subOutcome{err: err}
+	}
+	return subOutcome{paid: r.BobPaid, duration: r.Duration, events: r.EventsFired}
+}
+
 // Run executes the workload against the scenario's chain with the default
-// configuration (one worker per CPU).
+// configuration (one worker per CPU, materialised).
 func Run(s core.Scenario, w Workload) (*Result, error) {
 	return RunWith(s, w, Config{})
 }
@@ -77,8 +108,19 @@ func Run(s core.Scenario, w Workload) (*Result, error) {
 //     the payment's own run finished — releases the locks downstream on
 //     success or refunds them on failure.
 //
-// The returned Result is byte-identical across runs and worker counts for
-// the same inputs, and its liquidity Book always passes ledger.Audit: locks
+// With Config.Stream the three stages run as a bounded pipeline: the
+// generator produces fixed-size chunks, the worker pool simulates chunks as
+// they appear, and the timeline consumes sub-outcomes in arrival order with
+// bounded lookahead, aggregating each payment's fate the moment it settles.
+// Without it, stages run to completion one after another (the reference
+// path). Both paths feed the identical timeline in the identical order, so
+// for the same inputs every aggregate — counts, rates, exact latency mean
+// and max, volume, ledger audits — is byte-identical across modes and
+// worker counts; only the latency percentiles differ when per-payment
+// records are dropped (log-bucketed histogram estimates, ≤1% relative
+// error, see stats.Histogram).
+//
+// The returned Result's liquidity Book always passes ledger.Audit: locks
 // only move value between reservation and settlement, so no value is
 // conjured or lost no matter how heavy the contention.
 func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
@@ -95,42 +137,172 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 	if registry == nil {
 		registry = DefaultProtocols()
 	}
-	payments := w.generate(s)
-	for _, p := range payments {
-		if _, ok := registry[p.Protocol]; !ok {
-			return nil, fmt.Errorf("traffic: workload mixes unknown protocol %q", p.Protocol)
+	// Every generated payment's protocol comes from the mix (or the default
+	// "timelock"), so validating the mix names validates the population
+	// without materialising it.
+	names := []string{"timelock"}
+	if len(w.Mix) > 0 {
+		names = names[:0]
+		for _, m := range w.Mix {
+			names = append(names, m.Name)
+		}
+	}
+	for _, name := range names {
+		if _, ok := registry[name]; !ok {
+			return nil, fmt.Errorf("traffic: workload mixes unknown protocol %q", name)
 		}
 	}
 
-	subs := simulatePayments(s, payments, registry, cfg.workers())
 	res := &Result{
 		Chain:    s.Topology.N,
 		Seed:     s.Seed,
 		Workload: w,
-		Payments: make([]PaymentResult, len(payments)),
-		Book:     newLiquidityBook(s, w, payments),
 	}
-	for i, p := range payments {
-		res.Payments[i] = PaymentResult{
-			ID:       p.ID,
-			Sender:   p.Sender,
-			Receiver: p.Receiver,
-			Amount:   p.Amounts[len(p.Amounts)-1],
-			Volume:   p.Amounts[0],
-			Hops:     p.hops(),
-			Protocol: p.Protocol,
-			Arrival:  p.Arrival,
-			SubEvents: func() uint64 {
-				if subs[i].err != nil {
-					return 0
-				}
-				return subs[i].events
-			}(),
+	if cfg.keep() {
+		res.Payments = make([]PaymentResult, w.Payments)
+	}
+
+	var demand map[string]map[string]int64
+	var src paymentSource
+	if cfg.Stream {
+		if w.Liquidity <= 0 {
+			// Auto-sizing needs the whole population's worst-case demand; a
+			// dedicated generator pass computes it in O(topology) memory.
+			demand = w.demand(s)
 		}
+		src = newStreamSource(s, w, registry, cfg.workers())
+	} else {
+		payments := w.generate(s)
+		if w.Liquidity <= 0 {
+			demand = demandOf(payments)
+		}
+		subs := simulatePayments(s, payments, registry, cfg.workers())
+		src = &sliceSource{pays: payments, subs: subs}
 	}
-	runTimeline(res, payments, subs, w)
-	res.finalize()
+	res.Book = newLiquidityBook(s, w, demand)
+
+	exemplars := 0
+	if !cfg.keep() {
+		exemplars = cfg.Exemplars
+	}
+	executeTimeline(res, src, w, cfg.keep(), exemplars)
 	return res, nil
+}
+
+// executeTimeline drives the admission timeline over the payment source and
+// finalises every aggregate of res.
+func executeTimeline(res *Result, src paymentSource, w Workload, keep bool, exemplars int) {
+	agg := newAggregator(res, keep, exemplars)
+	tl := &timeline{
+		eng:  sim.NewEngine(res.Seed),
+		res:  res,
+		agg:  agg,
+		w:    w,
+		book: res.Book,
+	}
+	tl.run(src)
+	res.TimelineEvents = tl.fired
+	agg.finalize(res)
+}
+
+// paymentSource yields the payment population in arrival (= index) order,
+// each paired with its precomputed protocol sub-outcome.
+type paymentSource interface {
+	next() (*payment, subOutcome, bool)
+}
+
+// sliceSource feeds a fully materialised population.
+type sliceSource struct {
+	pays []*payment
+	subs []subOutcome
+	i    int
+}
+
+func (s *sliceSource) next() (*payment, subOutcome, bool) {
+	if s.i >= len(s.pays) {
+		return nil, subOutcome{}, false
+	}
+	p, sub := s.pays[s.i], s.subs[s.i]
+	s.i++
+	return p, sub, true
+}
+
+// chunkSize is the number of payments a pipeline chunk carries. Large
+// enough to amortise channel traffic, small enough that the bounded number
+// of in-flight chunks keeps peak memory flat.
+const chunkSize = 512
+
+// chunk is one unit of pipeline work: a run of consecutive payments and
+// their sub-outcomes. done is closed once the chunk is fully simulated.
+type chunk struct {
+	pays []*payment
+	subs []subOutcome
+	done chan struct{}
+}
+
+// streamSource is the bounded three-stage pipeline. A producer goroutine
+// generates chunks serially (the RNG stream is inherently sequential) and
+// hands each to the worker pool and, in order, to the consumer; workers
+// simulate whole chunks; the consumer blocks until the next in-order chunk
+// is simulated. The ordered channel's capacity bounds how many chunks exist
+// at once, so memory is O(workers·chunkSize) plus whatever is in flight in
+// the timeline — independent of the population size.
+type streamSource struct {
+	ordered <-chan *chunk
+	cur     *chunk
+	i       int
+}
+
+func newStreamSource(s core.Scenario, w Workload, registry map[string]core.Protocol, workers int) *streamSource {
+	depth := workers + 2
+	ordered := make(chan *chunk, depth)
+	work := make(chan *chunk, depth)
+	go func() {
+		g := w.newGenerator(s)
+		for {
+			c := &chunk{done: make(chan struct{})}
+			for len(c.pays) < chunkSize {
+				p := &payment{}
+				if !g.next(p) {
+					break
+				}
+				c.pays = append(c.pays, p)
+			}
+			if len(c.pays) == 0 {
+				break
+			}
+			c.subs = make([]subOutcome, len(c.pays))
+			work <- c
+			ordered <- c
+		}
+		close(work)
+		close(ordered)
+	}()
+	for i := 0; i < workers; i++ {
+		go func() {
+			for c := range work {
+				for j, p := range c.pays {
+					c.subs[j] = simulateOne(s, p, registry)
+				}
+				close(c.done)
+			}
+		}()
+	}
+	return &streamSource{ordered: ordered}
+}
+
+func (s *streamSource) next() (*payment, subOutcome, bool) {
+	for s.cur == nil || s.i == len(s.cur.pays) {
+		c, ok := <-s.ordered
+		if !ok {
+			return nil, subOutcome{}, false
+		}
+		<-c.done
+		s.cur, s.i = c, 0
+	}
+	p, sub := s.cur.pays[s.i], s.cur.subs[s.i]
+	s.i++
+	return p, sub, true
 }
 
 // forEachIndex runs fn(idx) for every idx in [0, n) across a pool of
@@ -170,14 +342,7 @@ func forEachIndex(n, workers int, fn func(int)) {
 func simulatePayments(base core.Scenario, payments []*payment, registry map[string]core.Protocol, workers int) []subOutcome {
 	out := make([]subOutcome, len(payments))
 	forEachIndex(len(payments), workers, func(idx int) {
-		p := payments[idx]
-		sub := subScenario(base, p)
-		r, err := registry[p.Protocol].Run(sub)
-		if err != nil {
-			out[idx] = subOutcome{err: err}
-			return
-		}
-		out[idx] = subOutcome{paid: r.BobPaid, duration: r.Duration, events: r.EventsFired}
+		out[idx] = simulateOne(base, payments[idx], registry)
 	})
 	return out
 }
@@ -185,24 +350,15 @@ func simulatePayments(base core.Scenario, payments []*payment, registry map[stri
 // newLiquidityBook builds the traffic-level escrow book: one ledger per
 // escrow of the chain, with both adjacent customers holding accounts. With
 // Workload.Liquidity set, each account is endowed with exactly that much;
-// otherwise endowments are auto-sized to each account's worst-case demand
-// across the whole workload, so liquidity never binds.
-func newLiquidityBook(s core.Scenario, w Workload, payments []*payment) *ledger.Book {
+// otherwise endowments come from the supplied worst-case demand map, so
+// liquidity never binds. Traffic ledgers run compacted: settled locks and
+// op-log entries are dropped as they settle, keeping ledger memory
+// proportional to pending locks rather than to the payment count.
+func newLiquidityBook(s core.Scenario, w Workload, demand map[string]map[string]int64) *ledger.Book {
 	book := ledger.NewBook()
-	demand := map[string]map[string]int64{}
-	if w.Liquidity <= 0 {
-		for _, p := range payments {
-			for k := 0; k < p.hops(); k++ {
-				e := core.EscrowID(p.Sender + k)
-				if demand[e] == nil {
-					demand[e] = map[string]int64{}
-				}
-				demand[e][core.CustomerID(p.Sender+k)] += p.amountVia(k)
-			}
-		}
-	}
 	for i := 0; i < s.Topology.N; i++ {
 		l := ledger.New(core.EscrowID(i))
+		l.SetCompact(true)
 		for _, owner := range []string{core.CustomerID(i), core.CustomerID(i + 1)} {
 			endow := w.Liquidity
 			if w.Liquidity <= 0 {
@@ -219,146 +375,226 @@ func newLiquidityBook(s core.Scenario, w Workload, payments []*payment) *ledger.
 	return book
 }
 
-// queued is one payment waiting for liquidity.
-type queued struct {
-	p      *payment
-	expiry sim.Timer
+// flight is the per-payment runtime state the timeline tracks between
+// arrival and settlement: the evolving PaymentResult, the admission-attempt
+// counter, the active lock ID, and — while waiting for liquidity — the
+// intrusive queue links and expiry timer. It is released to the garbage
+// collector as soon as the payment reaches a terminal status, so the
+// timeline's memory tracks the number of in-flight and queued payments, not
+// the population size.
+type flight struct {
+	p        *payment
+	sub      subOutcome
+	pr       PaymentResult
+	attempts int
+	lockID   string
+
+	// Doubly-linked admission queue in arrival order: expiry unlinks in
+	// O(1) where a slice scan was O(queue) per drop.
+	prev, next *flight
+	inQueue    bool
+	expiry     sim.Timer
 }
 
-// runTimeline replays arrivals, admission, queuing and settlement on a
-// discrete-event engine. It fills Start/End/Status/Queued of res.Payments
-// and the concurrency/event counters of res.
-func runTimeline(res *Result, payments []*payment, subs []subOutcome, w Workload) {
-	eng := sim.NewEngine(res.Seed)
-	book := res.Book
-	var (
-		queue    []*queued
-		inFlight int
-	)
-	// Every admission attempt uses a fresh lock ID: a rolled-back attempt
-	// leaves its refunded locks in the ledgers' histories, and reusing the
-	// ID on a later retry would be rejected as a duplicate.
-	attempts := make([]int, len(payments))
-	lockIDs := make([]string, len(payments))
+// timeline replays arrivals, admission, queuing and settlement on a
+// discrete-event engine, feeding each payment's terminal record to the
+// aggregator (and, when retained, to res.Payments).
+type timeline struct {
+	eng  *sim.Engine
+	res  *Result
+	agg  *aggregator
+	w    Workload
+	book *ledger.Book
 
-	// admit reserves every hop of p, rolling back on the first exhausted
-	// hop. It returns whether the payment is now in flight.
-	admit := func(p *payment, now sim.Time) bool {
-		id := fmt.Sprintf("%s#%d", p.ID, attempts[p.Index])
-		attempts[p.Index]++
-		hops := p.hops()
-		ok := true
-		var created int
-		for k := 0; k < hops; k++ {
-			l := book.MustGet(core.EscrowID(p.Sender + k))
-			_, err := l.CreateLock(now, id,
-				core.CustomerID(p.Sender+k), core.CustomerID(p.Sender+k+1),
-				p.amountVia(k), ledger.Condition{})
-			if err != nil {
-				ok = false
-				break
-			}
-			created++
-		}
+	qhead, qtail *flight
+	qlen         int
+	inFlight     int
+	fired        uint64
+}
+
+// run drives the timeline: for each payment, fire every pending event
+// strictly before its arrival, then process the arrival — exactly the event
+// order a run scheduling all arrivals up front (with the lowest sequence
+// numbers) would produce, without ever holding more than the in-flight
+// window in memory.
+func (t *timeline) run(src paymentSource) {
+	for {
+		p, sub, ok := src.next()
 		if !ok {
-			for k := created - 1; k >= 0; k-- {
-				l := book.MustGet(core.EscrowID(p.Sender + k))
-				l.Refund(now, id, now) //nolint:errcheck // lock pending by construction
-			}
-			return false
+			break
 		}
-		lockIDs[p.Index] = id
-		return true
+		_, fired := t.eng.RunBefore(p.Arrival, 0)
+		t.fired += fired
+		t.arrive(p, sub)
+		t.fired++ // the arrival itself, an event in the materialised sense
 	}
+	_, fired := t.eng.Run(0)
+	t.fired += fired
+}
 
-	var drainQueue func(now sim.Time)
-
-	// start marks p admitted at now and schedules its settlement at the
-	// virtual time its own protocol run finished.
-	start := func(p *payment, now sim.Time) {
-		pr := &res.Payments[p.Index]
-		pr.Start = now
-		inFlight++
-		if inFlight > res.PeakInFlight {
-			res.PeakInFlight = inFlight
-		}
-		sub := subs[p.Index]
-		eng.ScheduleIn(sub.duration, "settle:"+p.ID, func() {
-			end := eng.Now()
-			pr.End = end
-			switch {
-			case sub.err != nil:
-				pr.Status = StatusError
-			case sub.paid:
-				pr.Status = StatusOK
-			default:
-				pr.Status = StatusProtocolFailed
-			}
-			for k := 0; k < p.hops(); k++ {
-				l := book.MustGet(core.EscrowID(p.Sender + k))
-				if pr.Status == StatusOK {
-					l.Release(end, lockIDs[p.Index], nil, end) //nolint:errcheck // unconditional lock
-				} else {
-					l.Refund(end, lockIDs[p.Index], end) //nolint:errcheck // unconditional lock
-				}
-			}
-			inFlight--
-			drainQueue(end)
-		})
+// arrive admits, queues or rejects one payment at its arrival instant.
+func (t *timeline) arrive(p *payment, sub subOutcome) {
+	now := t.eng.Now()
+	f := &flight{p: p, sub: sub}
+	f.pr = PaymentResult{
+		ID:       p.ID,
+		Sender:   p.Sender,
+		Receiver: p.Receiver,
+		Amount:   p.Amounts[len(p.Amounts)-1],
+		Volume:   p.Amounts[0],
+		Hops:     p.hops(),
+		Protocol: p.Protocol,
+		Arrival:  p.Arrival,
 	}
+	if sub.err == nil {
+		f.pr.SubEvents = sub.events
+	}
+	if t.admit(f, now) {
+		t.start(f, now)
+		return
+	}
+	if t.w.QueuePatience <= 0 || (t.w.MaxQueue > 0 && t.qlen >= t.w.MaxQueue) {
+		f.pr.Status = StatusRejected
+		f.pr.End = now
+		t.finish(f)
+		return
+	}
+	f.expiry = t.eng.ScheduleIn(t.w.QueuePatience, "expire:"+p.ID, func() {
+		t.unlink(f)
+		f.pr.Status = StatusDropped
+		f.pr.End = t.eng.Now()
+		f.pr.Queued = true
+		f.pr.QueueWait = f.pr.End - p.Arrival
+		t.finish(f)
+	})
+	t.enqueue(f)
+}
 
-	// drainQueue retries waiting payments in arrival order whenever
-	// settlement frees liquidity; payments that still do not fit stay
-	// queued (no head-of-line blocking for the ones behind them).
-	drainQueue = func(now sim.Time) {
-		if len(queue) == 0 {
-			return
+// admit reserves every hop of f's payment, rolling back on the first
+// exhausted hop. It returns whether the payment is now in flight. Every
+// admission attempt uses a fresh "<id>#<attempt>" lock ID so each attempt's
+// locks are unambiguous in the ledgers. (Traffic books run compacted, which
+// forgets refunded locks, so a reused ID would no longer be rejected as a
+// duplicate — but a non-compacted book, as earlier versions used and tests
+// may construct, rejects it, and distinct IDs keep any retained history
+// readable. Do not drop the attempt suffix.)
+func (t *timeline) admit(f *flight, now sim.Time) bool {
+	p := f.p
+	id := fmt.Sprintf("%s#%d", p.ID, f.attempts)
+	f.attempts++
+	hops := p.hops()
+	ok := true
+	var created int
+	for k := 0; k < hops; k++ {
+		l := t.book.MustGet(core.EscrowID(p.Sender + k))
+		_, err := l.CreateLock(now, id,
+			core.CustomerID(p.Sender+k), core.CustomerID(p.Sender+k+1),
+			p.amountVia(k), ledger.Condition{})
+		if err != nil {
+			ok = false
+			break
 		}
-		remaining := queue[:0]
-		for _, q := range queue {
-			if admit(q.p, now) {
-				q.expiry.Cancel()
-				pr := &res.Payments[q.p.Index]
-				pr.Queued = true
-				pr.QueueWait = now - q.p.Arrival
-				start(q.p, now)
+		created++
+	}
+	if !ok {
+		for k := created - 1; k >= 0; k-- {
+			l := t.book.MustGet(core.EscrowID(p.Sender + k))
+			l.Refund(now, id, now) //nolint:errcheck // lock pending by construction
+		}
+		return false
+	}
+	f.lockID = id
+	return true
+}
+
+// start marks f admitted at now and schedules its settlement at the virtual
+// time its own protocol run finished.
+func (t *timeline) start(f *flight, now sim.Time) {
+	f.pr.Start = now
+	t.inFlight++
+	if t.inFlight > t.res.PeakInFlight {
+		t.res.PeakInFlight = t.inFlight
+	}
+	t.eng.ScheduleIn(f.sub.duration, "settle:"+f.p.ID, func() {
+		end := t.eng.Now()
+		f.pr.End = end
+		switch {
+		case f.sub.err != nil:
+			f.pr.Status = StatusError
+		case f.sub.paid:
+			f.pr.Status = StatusOK
+		default:
+			f.pr.Status = StatusProtocolFailed
+		}
+		for k := 0; k < f.p.hops(); k++ {
+			l := t.book.MustGet(core.EscrowID(f.p.Sender + k))
+			if f.pr.Status == StatusOK {
+				l.Release(end, f.lockID, nil, end) //nolint:errcheck // unconditional lock
 			} else {
-				remaining = append(remaining, q)
+				l.Refund(end, f.lockID, end) //nolint:errcheck // unconditional lock
 			}
 		}
-		queue = remaining
-	}
+		t.inFlight--
+		t.finish(f)
+		t.drainQueue(end)
+	})
+}
 
-	for _, p := range payments {
-		p := p
-		eng.ScheduleAt(p.Arrival, "arrive:"+p.ID, func() {
-			now := eng.Now()
-			if admit(p, now) {
-				start(p, now)
-				return
-			}
-			pr := &res.Payments[p.Index]
-			if w.QueuePatience <= 0 || (w.MaxQueue > 0 && len(queue) >= w.MaxQueue) {
-				pr.Status = StatusRejected
-				pr.End = now
-				return
-			}
-			q := &queued{p: p}
-			q.expiry = eng.ScheduleIn(w.QueuePatience, "expire:"+p.ID, func() {
-				for i, qq := range queue {
-					if qq == q {
-						queue = append(queue[:i], queue[i+1:]...)
-						break
-					}
-				}
-				pr.Status = StatusDropped
-				pr.End = eng.Now()
-				pr.Queued = true
-				pr.QueueWait = pr.End - p.Arrival
-			})
-			queue = append(queue, q)
-		})
+// enqueue appends f to the admission queue.
+func (t *timeline) enqueue(f *flight) {
+	f.inQueue = true
+	f.prev = t.qtail
+	if t.qtail != nil {
+		t.qtail.next = f
+	} else {
+		t.qhead = f
 	}
-	_, fired := eng.Run(0)
-	res.TimelineEvents = fired
+	t.qtail = f
+	t.qlen++
+}
+
+// unlink removes f from the admission queue in O(1).
+func (t *timeline) unlink(f *flight) {
+	if !f.inQueue {
+		return
+	}
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		t.qhead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		t.qtail = f.prev
+	}
+	f.prev, f.next = nil, nil
+	f.inQueue = false
+	t.qlen--
+}
+
+// drainQueue retries waiting payments in arrival order whenever settlement
+// frees liquidity; payments that still do not fit stay queued (no
+// head-of-line blocking for the ones behind them).
+func (t *timeline) drainQueue(now sim.Time) {
+	for f := t.qhead; f != nil; {
+		next := f.next
+		if t.admit(f, now) {
+			t.unlink(f)
+			f.expiry.Cancel()
+			f.pr.Queued = true
+			f.pr.QueueWait = now - f.p.Arrival
+			t.start(f, now)
+		}
+		f = next
+	}
+}
+
+// finish hands a terminal payment record to the aggregator and, when
+// per-payment retention is on, to its slot in res.Payments.
+func (t *timeline) finish(f *flight) {
+	t.agg.observe(t.res, &f.pr)
+	if t.res.Payments != nil {
+		t.res.Payments[f.p.Index] = f.pr
+	}
 }

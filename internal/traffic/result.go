@@ -2,6 +2,8 @@ package traffic
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/ledger"
@@ -72,8 +74,18 @@ type Result struct {
 	Seed int64
 	// Workload echoes the workload that ran.
 	Workload Workload
-	// Payments holds one entry per generated payment, in arrival order.
+	// Total is the number of payments executed. It always equals
+	// Workload.Payments after a full run, including streaming runs that do
+	// not retain per-payment records.
+	Total int
+	// Payments holds one entry per generated payment, in arrival order. Nil
+	// in streaming runs without Config.KeepPayments — aggregates below are
+	// computed on the fly instead.
 	Payments []PaymentResult
+	// Exemplars is a deterministic reservoir sample of payments retained by
+	// streaming runs that drop Payments (see Config.Exemplars), sorted by
+	// arrival order.
+	Exemplars []PaymentResult
 
 	// Outcome counts.
 	Succeeded int
@@ -82,11 +94,13 @@ type Result struct {
 	Dropped   int
 	Errored   int
 
-	// SuccessRate is Succeeded / Payments.
+	// SuccessRate is Succeeded / Total.
 	SuccessRate float64
 	// OfferedRate is the measured arrival rate (payments per simulated
 	// second); Throughput is the settled rate (successes per simulated
-	// second of makespan).
+	// second of makespan). A non-empty run whose arrivals all land at t=0
+	// (single burst) is measured over a one-tick window rather than
+	// reported as zero offered load.
 	OfferedRate float64
 	Throughput  float64
 	// Makespan is the virtual time at which the last payment settled.
@@ -94,12 +108,17 @@ type Result struct {
 	// VolumeMoved is the total value successfully delivered to receivers.
 	VolumeMoved int64
 
-	// Latency percentiles over successful payments, in milliseconds.
-	LatencyMeanMs float64
-	LatencyP50Ms  float64
-	LatencyP95Ms  float64
-	LatencyP99Ms  float64
-	LatencyMaxMs  float64
+	// Latency percentiles over successful payments, in milliseconds. Mean
+	// and max are always exact; the percentiles are exact when per-payment
+	// records are retained and log-bucketed histogram estimates (≤1%
+	// relative error, see stats.Histogram) in streaming aggregate-only runs
+	// — reported by ApproxPercentiles.
+	LatencyMeanMs     float64
+	LatencyP50Ms      float64
+	LatencyP95Ms      float64
+	LatencyP99Ms      float64
+	LatencyMaxMs      float64
+	ApproxPercentiles bool
 	// QueuedCount and QueueWaitMeanMs summarise admission queuing.
 	QueuedCount     int
 	QueueWaitMeanMs float64
@@ -116,59 +135,146 @@ type Result struct {
 	PendingLocks int
 
 	// SubEventsFired sums the simulation events of all per-payment protocol
-	// runs; TimelineEvents counts the admission timeline's own events.
+	// runs; TimelineEvents counts the admission timeline's own events
+	// (arrivals, settlements, queue expiries).
 	SubEventsFired uint64
 	TimelineEvents uint64
 }
 
-// finalize computes every aggregate from r.Payments and the liquidity book.
-func (r *Result) finalize() {
-	lat := stats.New()
-	queueWait := stats.New()
-	var lastArrival sim.Time
-	for i := range r.Payments {
-		p := &r.Payments[i]
-		switch p.Status {
-		case StatusOK:
-			r.Succeeded++
-			r.VolumeMoved += p.Amount
-			lat.Add(p.Latency().Millis())
-		case StatusProtocolFailed:
-			r.Failed++
-		case StatusRejected:
-			r.Rejected++
-		case StatusDropped:
-			r.Dropped++
-		case StatusError:
-			r.Errored++
-		}
-		if p.Queued {
-			r.QueuedCount++
-			queueWait.Add(p.QueueWait.Millis())
-		}
-		if p.Arrival > lastArrival {
-			lastArrival = p.Arrival
-		}
-		if p.End > r.Makespan {
-			r.Makespan = p.End
-		}
-		r.SubEventsFired += p.SubEvents
+// aggregator folds per-payment terminal records into a Result as the
+// timeline produces them, in settlement order. It retains O(1) state (plus
+// the optional exemplar reservoir): exact counters for everything except
+// the latency percentiles, which come from the exact sample when
+// per-payment records are kept and from a log-bucketed histogram otherwise.
+type aggregator struct {
+	keep bool
+	// latSample holds every latency when keep; latHist summarises them when
+	// not. Mean and max are tracked exactly in both modes.
+	latSample *stats.Sample
+	latHist   *stats.Histogram
+	latSum    float64
+	latMax    float64
+	latCount  int
+
+	queueWaitSum float64
+
+	lastArrival sim.Time
+
+	// Deterministic reservoir sample (algorithm R) of terminal payments.
+	reservoir []PaymentResult
+	resSize   int
+	resSeen   int
+	resRng    *rand.Rand
+}
+
+// newAggregator builds the aggregator for res. exemplars > 0 enables the
+// reservoir (only meaningful when per-payment records are dropped).
+func newAggregator(res *Result, keep bool, exemplars int) *aggregator {
+	a := &aggregator{keep: keep, resSize: exemplars}
+	if keep {
+		a.latSample = stats.New()
+	} else {
+		a.latHist = stats.NewHistogram()
 	}
-	if n := len(r.Payments); n > 0 {
-		r.SuccessRate = float64(r.Succeeded) / float64(n)
-		if lastArrival > 0 {
-			r.OfferedRate = float64(n) / lastArrival.Seconds()
+	if exemplars > 0 {
+		// The reservoir RNG is seeded from the scenario seed alone and
+		// consumed in settlement order, which is deterministic in
+		// (Scenario.Seed, Workload) — so the sample is too.
+		a.resRng = rand.New(rand.NewSource(int64(splitmix64(uint64(res.Seed)^0xE8E47A17) >> 1)))
+	}
+	return a
+}
+
+// observe folds one terminal payment record into the running aggregates.
+func (a *aggregator) observe(r *Result, p *PaymentResult) {
+	r.Total++
+	switch p.Status {
+	case StatusOK:
+		r.Succeeded++
+		r.VolumeMoved += p.Amount
+		lat := p.Latency().Millis()
+		a.latSum += lat
+		a.latCount++
+		if lat > a.latMax {
+			a.latMax = lat
 		}
+		if a.keep {
+			a.latSample.Add(lat)
+		} else {
+			a.latHist.Add(lat)
+		}
+	case StatusProtocolFailed:
+		r.Failed++
+	case StatusRejected:
+		r.Rejected++
+	case StatusDropped:
+		r.Dropped++
+	case StatusError:
+		r.Errored++
+	}
+	if p.Queued {
+		r.QueuedCount++
+		a.queueWaitSum += p.QueueWait.Millis()
+	}
+	if p.Arrival > a.lastArrival {
+		a.lastArrival = p.Arrival
+	}
+	if p.End > r.Makespan {
+		r.Makespan = p.End
+	}
+	r.SubEventsFired += p.SubEvents
+
+	if a.resSize > 0 {
+		if len(a.reservoir) < a.resSize {
+			a.reservoir = append(a.reservoir, *p)
+		} else if j := a.resRng.Intn(a.resSeen + 1); j < a.resSize {
+			a.reservoir[j] = *p
+		}
+		a.resSeen++
+	}
+}
+
+// finalize computes the derived aggregates and audits the liquidity book.
+func (a *aggregator) finalize(r *Result) {
+	if r.Total > 0 {
+		r.SuccessRate = float64(r.Succeeded) / float64(r.Total)
+		window := a.lastArrival
+		if window <= 0 {
+			// Single-burst workloads put every arrival at t=0; measure
+			// offered load over one simulation tick instead of reporting 0.
+			window = 1
+		}
+		r.OfferedRate = float64(r.Total) / window.Seconds()
 	}
 	if r.Makespan > 0 {
 		r.Throughput = float64(r.Succeeded) / r.Makespan.Seconds()
 	}
-	r.LatencyMeanMs = lat.Mean()
-	r.LatencyP50Ms = lat.Percentile(50)
-	r.LatencyP95Ms = lat.Percentile(95)
-	r.LatencyP99Ms = lat.Percentile(99)
-	r.LatencyMaxMs = lat.Max()
-	r.QueueWaitMeanMs = queueWait.Mean()
+	if a.latCount > 0 {
+		r.LatencyMeanMs = a.latSum / float64(a.latCount)
+	}
+	r.LatencyMaxMs = a.latMax
+	if a.keep {
+		r.LatencyP50Ms = a.latSample.Percentile(50)
+		r.LatencyP95Ms = a.latSample.Percentile(95)
+		r.LatencyP99Ms = a.latSample.Percentile(99)
+	} else {
+		r.LatencyP50Ms = a.latHist.Percentile(50)
+		r.LatencyP95Ms = a.latHist.Percentile(95)
+		r.LatencyP99Ms = a.latHist.Percentile(99)
+		r.ApproxPercentiles = true
+	}
+	if r.QueuedCount > 0 {
+		r.QueueWaitMeanMs = a.queueWaitSum / float64(r.QueuedCount)
+	}
+	if len(a.reservoir) > 0 {
+		r.Exemplars = a.reservoir
+		sort.Slice(r.Exemplars, func(i, j int) bool {
+			if r.Exemplars[i].Arrival != r.Exemplars[j].Arrival {
+				return r.Exemplars[i].Arrival < r.Exemplars[j].Arrival
+			}
+			return r.Exemplars[i].ID < r.Exemplars[j].ID
+		})
+	}
 	if r.Book != nil {
 		r.AuditErr = r.Book.AuditAll()
 		for _, name := range r.Book.Names() {
@@ -182,7 +288,7 @@ func (r *Result) finalize() {
 func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "traffic: %d payments over %d escrows (seed %d)\n",
-		len(r.Payments), r.Chain, r.Seed)
+		r.Total, r.Chain, r.Seed)
 	fmt.Fprintf(&b, "  outcome     ok=%d protocol-failed=%d rejected=%d dropped=%d error=%d (success %.1f%%)\n",
 		r.Succeeded, r.Failed, r.Rejected, r.Dropped, r.Errored, 100*r.SuccessRate)
 	fmt.Fprintf(&b, "  load        offered=%.1f/s settled=%.1f/s makespan=%v peak-in-flight=%d\n",
@@ -200,10 +306,16 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// PaymentTable renders one line per payment, for -v CLI output.
+// PaymentTable renders one line per retained payment, for -v CLI output.
+// Streaming runs that drop per-payment records render their exemplar
+// reservoir instead (see Config.Exemplars).
 func (r *Result) PaymentTable() string {
+	rows := r.Payments
+	if rows == nil {
+		rows = r.Exemplars
+	}
 	var b strings.Builder
-	for _, p := range r.Payments {
+	for _, p := range rows {
 		fmt.Fprintf(&b, "%-14s %-18s %-15s arrive=%-12v start=%-12v end=%-12v amount=%d\n",
 			p.ID, p.Protocol, p.Status, p.Arrival, p.Start, p.End, p.Amount)
 	}

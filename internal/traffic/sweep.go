@@ -26,10 +26,13 @@ type Outcome struct {
 // which worker finished first. Each point's own payment simulations run
 // serially inside its worker — the pool parallelises across cells, not
 // within them — so a sweep keeps exactly cfg.Workers cores busy and every
-// cell's Result is identical to a standalone serial run.
+// cell's Result is identical to a standalone serial run. Streaming and
+// retention settings (Stream, KeepPayments, Exemplars) carry over to every
+// cell unchanged.
 func Sweep(points []Point, cfg Config) []Outcome {
 	out := make([]Outcome, len(points))
-	perCell := Config{Workers: 1, Protocols: cfg.Protocols}
+	perCell := cfg
+	perCell.Workers = 1
 	forEachIndex(len(points), cfg.workers(), func(idx int) {
 		r, err := RunWith(points[idx].Scenario, points[idx].Workload, perCell)
 		out[idx] = Outcome{Point: points[idx], Result: r, Err: err}

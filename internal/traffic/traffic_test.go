@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -173,14 +174,9 @@ func TestQueuedReadmissionAfterPartialRollback(t *testing.T) {
 		Seed:     1,
 		Workload: w,
 		Payments: make([]PaymentResult, 2),
-		Book:     newLiquidityBook(s, w, payments),
+		Book:     newLiquidityBook(s, w, nil),
 	}
-	for i, p := range payments {
-		res.Payments[i] = PaymentResult{ID: p.ID, Sender: p.Sender, Receiver: p.Receiver,
-			Amount: p.Amounts[len(p.Amounts)-1], Hops: p.hops(), Arrival: p.Arrival}
-	}
-	runTimeline(res, payments, subs, w)
-	res.finalize()
+	executeTimeline(res, &sliceSource{pays: payments, subs: subs}, w, true, 0)
 
 	a := res.Payments[1]
 	if a.Status != StatusOK {
@@ -383,5 +379,221 @@ func TestWorkloadValidation(t *testing.T) {
 	w.Arrival.Kind = "bogus"
 	if _, err := Run(s, w); err == nil {
 		t.Fatal("bogus arrival kind accepted")
+	}
+	// Zero total weight would silently resolve every payment to mix[0].
+	w = NewWorkload(5).WithMix(
+		ProtocolShare{Name: "timelock", Weight: 0},
+		ProtocolShare{Name: "htlc", Weight: 0},
+	)
+	if _, err := Run(s, w); err == nil {
+		t.Fatal("all-zero-weight mix accepted")
+	}
+	// Hotspot fields without RandomSubPaths are silently ignored by
+	// generation; Validate must reject them instead.
+	w = NewWorkload(5)
+	w.HotspotFraction = 0.5
+	if _, err := Run(s, w); err == nil {
+		t.Fatal("hotspot fraction without RandomSubPaths accepted")
+	}
+	w = NewWorkload(5)
+	w.HotspotSender = 1
+	if _, err := Run(s, w); err == nil {
+		t.Fatal("hotspot sender without RandomSubPaths accepted")
+	}
+	// And with RandomSubPaths a hot sender outside the chain is rejected.
+	w = NewWorkload(5)
+	w.RandomSubPaths = true
+	w.HotspotFraction = 0.5
+	w.HotspotSender = 99
+	if _, err := Run(s, w); err == nil {
+		t.Fatal("out-of-chain hotspot sender accepted")
+	}
+}
+
+// TestStreamingEquivalence is the determinism suite of the streaming
+// pipeline: for the same (Scenario, Workload), the materialised reference
+// path and the streaming pipeline — across worker counts {1, 4, NumCPU} —
+// must produce byte-identical Result.String() aggregates, and streaming
+// with KeepPayments must reproduce the per-payment records exactly.
+func TestStreamingEquivalence(t *testing.T) {
+	s := core.NewScenario(5, 42)
+	w := NewWorkload(400)
+	w.Arrival.Rate = 500
+	w = w.WithMix(mixed...)
+
+	ref, err := RunWith(s, w, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		got, err := RunWith(s, w, Config{Workers: workers, Stream: true, KeepPayments: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != ref.String() {
+			t.Fatalf("streaming (workers=%d) differs from materialised:\n--- ref ---\n%s--- got ---\n%s",
+				workers, ref.String(), got.String())
+		}
+		if !reflect.DeepEqual(got.Payments, ref.Payments) {
+			t.Fatalf("per-payment records differ in streaming mode (workers=%d)", workers)
+		}
+	}
+}
+
+// TestStreamingAggregatesOnly checks the aggregate-only streaming mode:
+// per-payment records are dropped, every exact aggregate matches the
+// materialised run, and the histogram percentiles stay within the
+// documented 1% relative error of the exact ones.
+func TestStreamingAggregatesOnly(t *testing.T) {
+	s := core.NewScenario(5, 42)
+	w := NewWorkload(400)
+	w.Arrival.Rate = 500
+	w = w.WithMix(mixed...)
+
+	ref, err := RunWith(s, w, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunWith(s, w, Config{Workers: 2, Stream: true, Exemplars: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payments != nil {
+		t.Fatalf("aggregate-only run retained %d per-payment records", len(got.Payments))
+	}
+	if !got.ApproxPercentiles {
+		t.Fatal("aggregate-only run did not flag approximate percentiles")
+	}
+	if got.Total != ref.Total || got.Succeeded != ref.Succeeded || got.Failed != ref.Failed ||
+		got.Rejected != ref.Rejected || got.Dropped != ref.Dropped || got.Errored != ref.Errored {
+		t.Fatalf("outcome counts differ:\nref %+v\ngot %+v", ref, got)
+	}
+	for name, pair := range map[string][2]float64{
+		"success-rate": {ref.SuccessRate, got.SuccessRate},
+		"offered":      {ref.OfferedRate, got.OfferedRate},
+		"throughput":   {ref.Throughput, got.Throughput},
+		"lat-mean":     {ref.LatencyMeanMs, got.LatencyMeanMs},
+		"lat-max":      {ref.LatencyMaxMs, got.LatencyMaxMs},
+		"queue-wait":   {ref.QueueWaitMeanMs, got.QueueWaitMeanMs},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s differs exactly: ref=%v got=%v", name, pair[0], pair[1])
+		}
+	}
+	if got.VolumeMoved != ref.VolumeMoved || got.Makespan != ref.Makespan ||
+		got.PeakInFlight != ref.PeakInFlight || got.SubEventsFired != ref.SubEventsFired ||
+		got.TimelineEvents != ref.TimelineEvents {
+		t.Fatalf("exact aggregates differ:\nref\n%s\ngot\n%s", ref, got)
+	}
+	for name, pair := range map[string][2]float64{
+		"p50": {ref.LatencyP50Ms, got.LatencyP50Ms},
+		"p95": {ref.LatencyP95Ms, got.LatencyP95Ms},
+		"p99": {ref.LatencyP99Ms, got.LatencyP99Ms},
+	} {
+		if pair[0] == 0 {
+			continue
+		}
+		if relErr := (pair[1] - pair[0]) / pair[0]; relErr > 0.011 || relErr < -0.011 {
+			t.Errorf("%s estimate off by %.2f%%: exact=%v approx=%v", name, 100*relErr, pair[0], pair[1])
+		}
+	}
+	if got.AuditErr != nil {
+		t.Fatalf("audit failed in streaming mode: %v", got.AuditErr)
+	}
+	if len(got.Exemplars) != 10 {
+		t.Fatalf("reservoir kept %d exemplars, want 10", len(got.Exemplars))
+	}
+	// The reservoir is deterministic: a rerun picks the same payments.
+	again, err := RunWith(s, w, Config{Workers: 3, Stream: true, Exemplars: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Exemplars, again.Exemplars) {
+		t.Fatal("exemplar reservoir not deterministic across worker counts")
+	}
+	if got.PaymentTable() == "" {
+		t.Fatal("PaymentTable empty despite exemplars")
+	}
+}
+
+// TestStreamingQueueEquivalence runs the queue-heavy starved workload of
+// TestQueueing through both modes: queue admissions, drops and waits must
+// match exactly (this exercises the O(1) unlink path on expiry).
+func TestStreamingQueueEquivalence(t *testing.T) {
+	s := core.NewScenario(4, 7).SetFault(core.CustomerID(2), core.FaultSpec{Silent: true})
+	w := NewWorkload(120)
+	w.Arrival = Arrival{Kind: ArrivalBurst, BurstSize: 40, BurstGap: 2 * sim.Second}
+	// Short patience so some payments are dropped (expiry unlink) and some
+	// are admitted off the queue (drain unlink).
+	w = w.WithLiquidity(450).WithQueue(3*sim.Second, 0)
+
+	ref, err := RunWith(s, w, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunWith(s, w, Config{Workers: 2, Stream: true, KeepPayments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Dropped == 0 || ref.QueuedCount == 0 {
+		t.Fatalf("workload did not exercise the queue: %s", ref)
+	}
+	if got.String() != ref.String() {
+		t.Fatalf("queue aggregates differ across modes:\n--- ref ---\n%s--- got ---\n%s", ref, got)
+	}
+	if !reflect.DeepEqual(got.Payments, ref.Payments) {
+		t.Fatal("queued per-payment records differ across modes")
+	}
+}
+
+// TestOfferedRateSingleBurst is the regression test for offered load being
+// reported as zero when every arrival lands at t=0: a one-burst workload
+// must fall back to a one-tick measurement window.
+func TestOfferedRateSingleBurst(t *testing.T) {
+	s := core.NewScenario(2, 3)
+	w := NewWorkload(20)
+	w.Arrival = Arrival{Kind: ArrivalBurst, BurstSize: 20, BurstGap: sim.Second}
+	res, err := Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 20 {
+		t.Fatalf("ran %d payments, want 20", res.Total)
+	}
+	if res.OfferedRate <= 0 {
+		t.Fatalf("single-burst offered rate reported as %v, want > 0", res.OfferedRate)
+	}
+}
+
+// TestStreamingSmoke pushes 20k payments through the aggregate-only
+// streaming pipeline on a short chain — the scaled-down in-package version
+// of the million-payment CLI run (CI additionally drives the CLI at 100k
+// payments; see .github/workflows/ci.yml). Skipped under -short so the
+// race-detector job stays quick.
+func TestStreamingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bulk streaming smoke skipped in -short mode")
+	}
+	s := core.NewScenario(2, 42)
+	w := NewWorkload(20_000)
+	w.Arrival.Rate = 20_000
+	res, err := RunWith(s, w, Config{Stream: true, Exemplars: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 20_000 {
+		t.Fatalf("ran %d payments, want 20000", res.Total)
+	}
+	if res.Payments != nil {
+		t.Fatal("streaming smoke retained per-payment records")
+	}
+	if res.Succeeded == 0 {
+		t.Fatal("no payment succeeded")
+	}
+	if res.AuditErr != nil {
+		t.Fatalf("audit failed: %v", res.AuditErr)
+	}
+	if res.PendingLocks != 0 {
+		t.Fatalf("%d locks left pending", res.PendingLocks)
 	}
 }

@@ -177,18 +177,24 @@ func (w Workload) Validate(t core.Topology) error {
 	default:
 		return fmt.Errorf("traffic: unknown amount kind %q", w.Amounts.Kind)
 	}
+	var totalWeight float64
 	for _, m := range w.Mix {
 		if m.Weight < 0 {
 			return fmt.Errorf("traffic: protocol %q has negative weight", m.Name)
 		}
+		totalWeight += m.Weight
+	}
+	if len(w.Mix) > 0 && totalWeight == 0 {
+		return fmt.Errorf("traffic: protocol mix has zero total weight")
 	}
 	if w.HotspotFraction < 0 || w.HotspotFraction > 1 {
 		return fmt.Errorf("traffic: hotspot fraction %v outside [0,1]", w.HotspotFraction)
 	}
-	if w.RandomSubPaths && (w.HotspotSender < 0 || w.HotspotSender >= t.N) {
-		if w.HotspotFraction > 0 {
-			return fmt.Errorf("traffic: hotspot sender c%d outside chain 0..%d", w.HotspotSender, t.N-1)
-		}
+	if !w.RandomSubPaths && (w.HotspotFraction != 0 || w.HotspotSender != 0) {
+		return fmt.Errorf("traffic: hotspot fields set without RandomSubPaths (they would be ignored)")
+	}
+	if w.RandomSubPaths && w.HotspotFraction > 0 && (w.HotspotSender < 0 || w.HotspotSender >= t.N) {
+		return fmt.Errorf("traffic: hotspot sender c%d outside chain 0..%d", w.HotspotSender, t.N-1)
 	}
 	return nil
 }
@@ -231,12 +237,39 @@ func paymentSeed(scenarioSeed int64, idx int) int64 {
 	return int64(s >> 1)
 }
 
-// generate materialises the workload against the scenario: all draws come
-// from one rand.Rand seeded from Scenario.Seed, in one fixed order, so the
-// payment population is deterministic.
-func (w Workload) generate(s core.Scenario) []*payment {
-	rng := rand.New(rand.NewSource(int64(splitmix64(uint64(s.Seed)) >> 1)))
-	n := s.Topology.N
+// generator draws the workload's payment population one payment at a time.
+// All draws come from one rand.Rand seeded from Scenario.Seed, consumed in
+// exactly the order the original all-at-once generate used, so a chunked or
+// streamed traversal yields byte-identical payments to a materialised one.
+type generator struct {
+	w           Workload // defaults resolved
+	mix         []ProtocolShare
+	totalWeight float64
+	rng         *rand.Rand
+	n           int   // topology size
+	seed        int64 // scenario seed
+	now         sim.Time
+	idx         int
+	// withIDs disables payment-ID formatting; the demand pre-pass only needs
+	// routes and amounts, and skipping fmt.Sprintf keeps it allocation-light.
+	withIDs bool
+}
+
+// newGenerator resolves workload defaults against the scenario and positions
+// the generator at payment 0.
+func (w Workload) newGenerator(s core.Scenario) *generator {
+	if w.Arrival.Rate <= 0 {
+		w.Arrival.Rate = 100
+	}
+	if w.Arrival.BurstSize <= 0 {
+		w.Arrival.BurstSize = 10
+	}
+	if w.Arrival.BurstGap <= 0 {
+		w.Arrival.BurstGap = 100 * sim.Millisecond
+	}
+	if w.Amounts.Base <= 0 {
+		w.Amounts.Base = 100
+	}
 	mix := w.Mix
 	if len(mix) == 0 {
 		mix = []ProtocolShare{{Name: "timelock", Weight: 1}}
@@ -245,94 +278,149 @@ func (w Workload) generate(s core.Scenario) []*payment {
 	for _, m := range mix {
 		totalWeight += m.Weight
 	}
+	return &generator{
+		w:           w,
+		mix:         mix,
+		totalWeight: totalWeight,
+		rng:         rand.New(rand.NewSource(int64(splitmix64(uint64(s.Seed)) >> 1))),
+		n:           s.Topology.N,
+		seed:        s.Seed,
+		withIDs:     true,
+	}
+}
 
-	arrival := w.Arrival
-	if arrival.Rate <= 0 {
-		arrival.Rate = 100
+// next fills p with the next payment of the population, reusing p's Amounts
+// capacity, and reports whether one was produced.
+func (g *generator) next(p *payment) bool {
+	if g.idx >= g.w.Payments {
+		return false
 	}
-	if arrival.BurstSize <= 0 {
-		arrival.BurstSize = 10
-	}
-	if arrival.BurstGap <= 0 {
-		arrival.BurstGap = 100 * sim.Millisecond
-	}
-	amounts := w.Amounts
-	if amounts.Base <= 0 {
-		amounts.Base = 100
+	i := g.idx
+	g.idx++
+	rng, w := g.rng, g.w
+
+	// 1) Arrival instant.
+	switch w.Arrival.Kind {
+	case ArrivalUniform:
+		gap := rng.Float64() * 2 / w.Arrival.Rate
+		g.now += sim.Time(math.Round(gap * float64(sim.Second)))
+	case ArrivalBurst:
+		if i > 0 && i%w.Arrival.BurstSize == 0 {
+			g.now += w.Arrival.BurstGap
+		}
+	default: // Poisson
+		gap := rng.ExpFloat64() / w.Arrival.Rate
+		g.now += sim.Time(math.Round(gap * float64(sim.Second)))
 	}
 
+	// 2) Route.
+	sender, receiver := 0, g.n
+	if w.RandomSubPaths {
+		if w.HotspotFraction > 0 && rng.Float64() < w.HotspotFraction {
+			sender = w.HotspotSender
+		} else {
+			sender = rng.Intn(g.n)
+		}
+		receiver = sender + 1 + rng.Intn(g.n-sender)
+	}
+
+	// 3) Size.
+	base := w.Amounts.Base
+	switch w.Amounts.Kind {
+	case AmountUniform:
+		if w.Amounts.Spread > 0 {
+			base += rng.Int63n(2*w.Amounts.Spread+1) - w.Amounts.Spread
+		}
+	case AmountExponential:
+		base = int64(math.Round(rng.ExpFloat64() * float64(w.Amounts.Base)))
+	}
+	if base < 1 {
+		base = 1
+	}
+	hops := receiver - sender
+	if cap(p.Amounts) >= hops {
+		p.Amounts = p.Amounts[:hops]
+	} else {
+		p.Amounts = make([]int64, hops)
+	}
+	for k := 0; k < hops; k++ {
+		p.Amounts[k] = base + int64(hops-1-k)*w.Commission
+	}
+
+	// 4) Protocol.
+	name := g.mix[0].Name
+	if len(g.mix) > 1 && g.totalWeight > 0 {
+		pick := rng.Float64() * g.totalWeight
+		for _, m := range g.mix {
+			if pick < m.Weight {
+				name = m.Name
+				break
+			}
+			pick -= m.Weight
+		}
+	}
+
+	p.Index = i
+	p.ID = ""
+	if g.withIDs {
+		p.ID = fmt.Sprintf("p%05d-c%d-c%d", i, sender, receiver)
+	}
+	p.Sender = sender
+	p.Receiver = receiver
+	p.Arrival = g.now
+	p.Protocol = name
+	p.Seed = paymentSeed(g.seed, i)
+	return true
+}
+
+// generate materialises the whole workload at once (the reference path; the
+// streaming executor consumes the same generator chunk by chunk instead).
+func (w Workload) generate(s core.Scenario) []*payment {
+	g := w.newGenerator(s)
 	out := make([]*payment, w.Payments)
-	var now sim.Time
 	for i := range out {
-		// 1) Arrival instant.
-		switch arrival.Kind {
-		case ArrivalUniform:
-			gap := rng.Float64() * 2 / arrival.Rate
-			now += sim.Time(math.Round(gap * float64(sim.Second)))
-		case ArrivalBurst:
-			if i > 0 && i%arrival.BurstSize == 0 {
-				now += arrival.BurstGap
-			}
-		default: // Poisson
-			gap := rng.ExpFloat64() / arrival.Rate
-			now += sim.Time(math.Round(gap * float64(sim.Second)))
-		}
-
-		// 2) Route.
-		sender, receiver := 0, n
-		if w.RandomSubPaths {
-			if w.HotspotFraction > 0 && rng.Float64() < w.HotspotFraction {
-				sender = w.HotspotSender
-			} else {
-				sender = rng.Intn(n)
-			}
-			receiver = sender + 1 + rng.Intn(n-sender)
-		}
-
-		// 3) Size.
-		base := amounts.Base
-		switch amounts.Kind {
-		case AmountUniform:
-			if amounts.Spread > 0 {
-				base += rng.Int63n(2*amounts.Spread+1) - amounts.Spread
-			}
-		case AmountExponential:
-			base = int64(math.Round(rng.ExpFloat64() * float64(amounts.Base)))
-		}
-		if base < 1 {
-			base = 1
-		}
-		hops := receiver - sender
-		perHop := make([]int64, hops)
-		for k := 0; k < hops; k++ {
-			perHop[k] = base + int64(hops-1-k)*w.Commission
-		}
-
-		// 4) Protocol.
-		name := mix[0].Name
-		if len(mix) > 1 && totalWeight > 0 {
-			pick := rng.Float64() * totalWeight
-			for _, m := range mix {
-				if pick < m.Weight {
-					name = m.Name
-					break
-				}
-				pick -= m.Weight
-			}
-		}
-
-		out[i] = &payment{
-			Index:    i,
-			ID:       fmt.Sprintf("p%05d-c%d-c%d", i, sender, receiver),
-			Sender:   sender,
-			Receiver: receiver,
-			Amounts:  perHop,
-			Arrival:  now,
-			Protocol: name,
-			Seed:     paymentSeed(s.Seed, i),
-		}
+		p := &payment{}
+		g.next(p)
+		out[i] = p
 	}
 	return out
+}
+
+// demand computes each escrow account's worst-case liquidity demand across
+// the whole population by replaying the generator without retaining
+// payments: O(topology) memory regardless of the payment count. Used to
+// auto-size endowments for streaming runs; demandOf is its materialised
+// twin. Both produce identical maps for identical (Scenario, Workload).
+func (w Workload) demand(s core.Scenario) map[string]map[string]int64 {
+	g := w.newGenerator(s)
+	g.withIDs = false
+	out := map[string]map[string]int64{}
+	var p payment
+	for g.next(&p) {
+		addDemand(out, &p)
+	}
+	return out
+}
+
+// demandOf computes the same worst-case demand map from an already
+// materialised population.
+func demandOf(payments []*payment) map[string]map[string]int64 {
+	out := map[string]map[string]int64{}
+	for _, p := range payments {
+		addDemand(out, p)
+	}
+	return out
+}
+
+// addDemand accumulates one payment's per-hop reservations.
+func addDemand(demand map[string]map[string]int64, p *payment) {
+	for k := 0; k < p.hops(); k++ {
+		e := core.EscrowID(p.Sender + k)
+		if demand[e] == nil {
+			demand[e] = map[string]int64{}
+		}
+		demand[e][core.CustomerID(p.Sender+k)] += p.amountVia(k)
+	}
 }
 
 // subScenario builds the single-payment scenario that simulates payment p in

@@ -34,7 +34,9 @@
 //	tr, err := xchainpay.RunTraffic(s, w)      // deterministic in (s.Seed, w)
 //	fmt.Print(tr)                              // success rate, throughput, latency
 //
-// See internal/traffic, experiment E9, cmd/xchain-traffic and
+// Million-payment workloads run through the streaming pipeline
+// (TrafficConfig.Stream), whose peak memory is independent of the payment
+// count. See internal/traffic, experiment E9, cmd/xchain-traffic and
 // examples/traffic.
 //
 // The experiment harness regenerating every artefact of the paper is in
@@ -48,6 +50,7 @@ import (
 	"repro/internal/htlc"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/timelock"
 	"repro/internal/traffic"
 	"repro/internal/weaklive"
@@ -85,8 +88,11 @@ type (
 	// TrafficResult aggregates a multi-payment traffic run: success rate,
 	// throughput, latency percentiles and the audited liquidity ledgers.
 	TrafficResult = traffic.Result
+	// TrafficPayment records one payment's fate in a traffic run.
+	TrafficPayment = traffic.PaymentResult
 	// TrafficConfig tunes traffic execution (worker-pool size, protocol
-	// registry) without affecting results.
+	// registry, streaming versus materialised mode and per-payment record
+	// retention) without affecting aggregate results.
 	TrafficConfig = traffic.Config
 	// TrafficPoint is one cell of a traffic parameter sweep.
 	TrafficPoint = traffic.Point
@@ -102,6 +108,10 @@ type (
 	AmountKind = traffic.AmountKind
 	// ProtocolShare weights one protocol within a mixed workload.
 	ProtocolShare = traffic.ProtocolShare
+	// Histogram is the streaming log-bucketed histogram used by traffic
+	// runs that drop per-payment records: exact mean/min/max/sum, and
+	// percentile estimates within 1% relative error in constant memory.
+	Histogram = stats.Histogram
 )
 
 // Workload arrival processes and amount distributions, re-exported.
@@ -184,9 +194,17 @@ func NewWorkload(n int) Workload { return traffic.NewWorkload(n) }
 func RunTraffic(s Scenario, w Workload) (*TrafficResult, error) { return traffic.Run(s, w) }
 
 // RunTrafficWith is RunTraffic with an explicit execution configuration.
+// With TrafficConfig.Stream the run executes as a bounded-memory pipeline
+// whose peak memory is independent of Workload.Payments: per-payment
+// records are dropped as they settle (unless KeepPayments) and latency
+// percentiles come from a constant-size histogram, while every count, rate
+// and ledger audit stays byte-identical to a materialised run.
 func RunTrafficWith(s Scenario, w Workload, cfg TrafficConfig) (*TrafficResult, error) {
 	return traffic.RunWith(s, w, cfg)
 }
+
+// NewHistogram returns an empty streaming histogram (see Histogram).
+func NewHistogram() *Histogram { return stats.NewHistogram() }
 
 // SweepTraffic runs every (scenario, workload) point across a worker pool
 // and returns the outcomes in point order.
