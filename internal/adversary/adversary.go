@@ -44,6 +44,18 @@ func AllBehaviours() []Behaviour {
 	}
 }
 
+// ParseBehaviour resolves a behaviour by its string name and reports whether
+// the name is known. Serialised scenarios (internal/scenariogen replay files)
+// store behaviours by name and reconstruct FaultSpecs through this.
+func ParseBehaviour(name string) (Behaviour, bool) {
+	for _, b := range AllBehaviours() {
+		if string(b) == name {
+			return b, true
+		}
+	}
+	return Honest, false
+}
+
 // CustomerBehaviours lists the behaviours meaningful for customers.
 func CustomerBehaviours() []Behaviour {
 	return []Behaviour{Crash, CrashAtStart, Silent, Withhold, RefusePayment, SlowActions, Forge, ImpatientAbort}

@@ -191,11 +191,27 @@ func checkConsistency(res *core.RunResult) Verdict {
 	}
 	if res.Trace != nil {
 		for _, ev := range res.Trace.ByKind(trace.KindViolation) {
-			if !res.Scenario.FaultOf(ev.Actor).IsByzantine() {
-				v.Holds = false
-				v.Detail = fmt.Sprintf("honest %s hit %s", ev.Actor, ev.Label)
-				return v
+			if res.Scenario.FaultOf(ev.Actor).IsByzantine() {
+				continue // a Byzantine actor's own violations are its deviation
 			}
+			v.Holds = false
+			v.Detail = fmt.Sprintf("honest %s hit %s", ev.Actor, ev.Label)
+			return v
+		}
+		// Detection events record a participant rejecting a peer's invalid
+		// input. Against a Byzantine peer that is the protocol working as
+		// specified; against an honest peer it means the engine produced an
+		// instruction the receiver could not accept — an inconsistency.
+		for _, ev := range res.Trace.ByKind(trace.KindDetection) {
+			if res.Scenario.FaultOf(ev.Actor).IsByzantine() {
+				continue
+			}
+			if ev.Peer != "" && res.Scenario.FaultOf(ev.Peer).IsByzantine() {
+				continue
+			}
+			v.Holds = false
+			v.Detail = fmt.Sprintf("honest %s rejected honest input: %s", ev.Actor, ev.Label)
+			return v
 		}
 	}
 	return v

@@ -81,6 +81,86 @@ func TestConsistencyIgnoresByzantineViolations(t *testing.T) {
 	}
 }
 
+func TestConsistencyDetectionEvents(t *testing.T) {
+	// An honest escrow that records a detection event while rejecting a
+	// Byzantine peer's forged certificate is the protocol working, not
+	// failing: C must hold. (Discovered by the scenario fuzzer: the audits
+	// in xchain-check run muted and never saw these events.)
+	res := fabricate(2)
+	res.Scenario = res.Scenario.SetFault("c2", core.FaultSpec{ForgeCertificate: true})
+	res.Trace.Add(0, trace.KindDetection, "e1", "c2", "invalid-certificate")
+	r := Evaluate(res, Def1Eventual())
+	if !r.Verdict(core.PropConsistency).OK() {
+		t.Fatal("rejecting a Byzantine peer's forgery falsified consistency")
+	}
+	// The same detection against an honest peer means the engine produced an
+	// instruction the receiver could not accept — a genuine inconsistency.
+	res2 := fabricate(2)
+	res2.Trace.Add(0, trace.KindDetection, "e1", "c2", "invalid-certificate")
+	r = Evaluate(res2, Def1Eventual())
+	if r.Verdict(core.PropConsistency).OK() {
+		t.Fatal("an honest participant's rejection of honest input passed C")
+	}
+	// A violation event is the actor's own inconsistency: a Byzantine peer
+	// never excuses it.
+	res3 := fabricate(2)
+	res3.Scenario = res3.Scenario.SetFault("c2", core.FaultSpec{ForgeCertificate: true})
+	res3.Trace.Add(0, trace.KindViolation, "e1", "c2", "double-release")
+	r = Evaluate(res3, Def1Eventual())
+	if r.Verdict(core.PropConsistency).OK() {
+		t.Fatal("an honest participant's own violation passed C because its peer was Byzantine")
+	}
+	// Detection events by Byzantine actors are ignored like their violations.
+	res4 := fabricate(2)
+	res4.Scenario = res4.Scenario.SetFault("e1", core.FaultSpec{StealEscrow: true})
+	res4.Trace.Add(0, trace.KindDetection, "e1", "c1", "wrong-amount")
+	r = Evaluate(res4, Def1Eventual())
+	if !r.Verdict(core.PropConsistency).OK() {
+		t.Fatal("a Byzantine actor's detection event falsified C")
+	}
+}
+
+func TestPreconditionsWhenNoCustomerAbides(t *testing.T) {
+	// Every customer Byzantine: the customer-facing properties owe nothing —
+	// T, CS1, CS2, CS3 and L must all be inapplicable (and hence hold), no
+	// matter how badly the run went for the deviators.
+	res := fabricate(2)
+	for _, id := range res.Scenario.Topology.Customers() {
+		res.Scenario = res.Scenario.SetFault(id, core.FaultSpec{Silent: true})
+	}
+	for _, id := range res.Scenario.Topology.Customers() {
+		setOutcome(res, id, func(o *core.CustomerOutcome) {
+			o.Terminated = false
+			o.PaidOut = 100
+			o.WealthBefore = 100
+			o.WealthAfter = 0
+			o.IssuedChi = true
+		})
+	}
+	res.BobPaid = false
+	r := Evaluate(res, Def1TimeBounded(1*sim.Millisecond))
+	for _, p := range []core.Property{
+		core.PropTermination, core.PropCS1, core.PropCS2, core.PropCS3, core.PropStrongLiveness,
+	} {
+		v := r.Verdict(p)
+		if v.Applicable {
+			t.Errorf("%s applicable although no customer abides", p)
+		}
+		if !v.OK() {
+			t.Errorf("%s violated although no customer abides: %s", p, v.Detail)
+		}
+	}
+	// Escrow security and conservation remain owed to the honest escrows.
+	if !r.Verdict(core.PropEscrowSecurity).Applicable {
+		t.Error("ES not applicable although the escrows abide")
+	}
+	// Weak liveness is likewise not owed under Definition 2.
+	r2 := Evaluate(res, Def2(0))
+	if v := r2.Verdict(core.PropWeakLiveness); v.Applicable || !v.OK() {
+		t.Errorf("WL demanded although no customer abides: %+v", v)
+	}
+}
+
 func TestTerminationBoundEnforced(t *testing.T) {
 	res := fabricate(2)
 	setOutcome(res, "c0", func(o *core.CustomerOutcome) { o.PaidOut = 10; o.TerminatedAt = 2 * sim.Second })

@@ -71,21 +71,9 @@ func Candidates() []Candidate {
 				p := timelock.New()
 				params := timelock.DeriveParams(s.Topology, s.Timing, true)
 				if scale <= 0 {
-					// "Infinite" timeouts: windows of roughly 35 simulated
-					// years, kept strictly nested so the parameters stay
-					// structurally valid.
-					base := sim.Time(1) << 50
-					for i := range params.A {
-						params.A[i] = base - sim.Time(i)*sim.Hour
-						params.D[i] = params.A[i] + sim.Hour
-					}
-					params.Bound = sim.Time(1) << 55
+					params = params.Inflated()
 				} else {
-					for i := range params.A {
-						params.A[i] = sim.Time(float64(params.A[i]) * scale)
-						params.D[i] = sim.Time(float64(params.D[i])*scale) + 1
-					}
-					params.Bound = sim.Time(float64(params.Bound)*scale) + 1
+					params = params.Scaled(scale)
 				}
 				p.Params = &params
 				return p
@@ -122,33 +110,55 @@ func (a Attack) Model(fast sim.Time) netsim.DelayModel {
 	}
 }
 
-// Attacks returns the adversarial schedules used against each candidate. The
-// holdback is chosen relative to the candidate's largest timeout so that the
-// attack is always "finite but longer than the protocol is willing to wait";
-// for the infinite-timeout candidate any large holdback exposes the
-// termination failure instead.
-func Attacks(maxWindow sim.Time) []Attack {
+// AttackNames lists the adversarial schedules of the Theorem-2 search in
+// canonical order. Each name selects one class of protocol message to starve:
+// the certificate chi on its way back up the chain, the money on its way
+// down, or the escrow promises P(a)/G(d) that set the chain up.
+func AttackNames() []string {
+	return []string{"delay-certificates", "delay-money", "delay-promises"}
+}
+
+// AttackByName returns the named attack with the given holdback, and whether
+// the name is known. The scenario fuzzer in internal/scenariogen uses this to
+// reconstruct attacks from serialised replay files.
+func AttackByName(name string, holdback sim.Time) (Attack, bool) {
+	var matches func(string) bool
+	switch name {
+	case "delay-certificates":
+		matches = func(d string) bool { return strings.HasPrefix(d, "chi(") }
+	case "delay-money":
+		matches = func(d string) bool { return strings.HasPrefix(d, "$(") }
+	case "delay-promises":
+		matches = func(d string) bool { return strings.HasPrefix(d, "P(") || strings.HasPrefix(d, "G(") }
+	default:
+		return Attack{}, false
+	}
+	return Attack{Name: name, Matches: matches, Holdback: holdback}, true
+}
+
+// HoldbackFor returns the delay the Theorem-2 search uses against a candidate
+// whose largest timeout window is maxWindow: always "finite but longer than
+// the protocol is willing to wait", capped at an hour for the
+// effectively-infinite candidate (maxWindow <= 0), whose termination failure
+// any large holdback exposes.
+func HoldbackFor(maxWindow sim.Time) sim.Time {
 	holdback := 4 * maxWindow
 	if holdback <= 0 || holdback > sim.Hour {
 		holdback = sim.Hour
 	}
-	return []Attack{
-		{
-			Name:     "delay-certificates",
-			Matches:  func(d string) bool { return strings.HasPrefix(d, "chi(") },
-			Holdback: holdback,
-		},
-		{
-			Name:     "delay-money",
-			Matches:  func(d string) bool { return strings.HasPrefix(d, "$(") },
-			Holdback: holdback,
-		},
-		{
-			Name:     "delay-promises",
-			Matches:  func(d string) bool { return strings.HasPrefix(d, "P(") || strings.HasPrefix(d, "G(") },
-			Holdback: holdback,
-		},
+	return holdback
+}
+
+// Attacks returns the adversarial schedules used against each candidate, with
+// the holdback sized by HoldbackFor.
+func Attacks(maxWindow sim.Time) []Attack {
+	holdback := HoldbackFor(maxWindow)
+	out := make([]Attack, 0, len(AttackNames()))
+	for _, name := range AttackNames() {
+		a, _ := AttackByName(name, holdback)
+		out = append(out, a)
 	}
+	return out
 }
 
 // Finding records the outcome of one (candidate, attack) pair.

@@ -211,7 +211,7 @@ func (p *escrowProc) onCreateLock(from string, m MsgCreateLock) {
 	}
 	want := p.run.scn.Spec.AmountVia(p.i)
 	if m.Amount != want || m.PaymentID != p.run.scn.Spec.PaymentID {
-		p.run.tr.AddValue(p.run.eng.Now(), trace.KindViolation, p.id, from, "wrong-amount", m.Amount)
+		p.run.tr.AddValue(p.run.eng.Now(), trace.KindDetection, p.id, from, "wrong-amount", m.Amount)
 		return
 	}
 	cond := ledger.Condition{HashLock: m.HashLock, Expiry: m.Expiry}
@@ -247,7 +247,7 @@ func (p *escrowProc) onClaim(from string, m MsgClaim) {
 	}
 	amount := p.run.scn.Spec.AmountVia(p.i)
 	if err := p.led.Release(p.run.eng.Now(), p.run.lockID(p.i), m.Preimage, p.clk.Now()); err != nil {
-		p.run.tr.AddLazy(p.run.eng.Now(), trace.KindViolation, p.id, from, func() string { return "claim-rejected: " + err.Error() })
+		p.run.tr.AddLazy(p.run.eng.Now(), trace.KindDetection, p.id, from, func() string { return "claim-rejected: " + err.Error() })
 		return
 	}
 	p.settled = true

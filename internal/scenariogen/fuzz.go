@@ -1,0 +1,152 @@
+package scenariogen
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// Seeds is how many consecutive seeds to run, starting at StartSeed.
+	Seeds     int
+	StartSeed int64
+	// Workers bounds the goroutines running scenarios (0 = NumCPU). Results
+	// are aggregated in seed order, so the worker count never changes them.
+	Workers int
+	// Families, if non-empty, restricts the campaign to these families;
+	// seeds generating other families are counted as skipped.
+	Families []Family
+	// MaxFailures stops collecting violation outcomes beyond this many
+	// (0 = 16); counting continues.
+	MaxFailures int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (o Options) maxFailures() int {
+	if o.MaxFailures > 0 {
+		return o.MaxFailures
+	}
+	return 16
+}
+
+// Stats aggregates a fuzzing campaign.
+type Stats struct {
+	Runs       int
+	Skipped    int
+	Conforming int
+	Violating  int
+	ByFamily   map[Family]int
+	// Violations holds up to MaxFailures failing outcomes in seed order;
+	// ViolationCount counts all of them.
+	Violations     []*Outcome
+	ViolationCount int
+	// Theorem2Count counts violating-class timeout-family runs whose
+	// schedule defeated Definition 1; FirstTheorem2 keeps the earliest.
+	Theorem2Count int
+	FirstTheorem2 *Outcome
+	// ExpectedCounts tallies expected (theorem-shaped) property failures.
+	ExpectedCounts map[core.Property]int
+}
+
+// Clean reports whether no oracle violation was found.
+func (s *Stats) Clean() bool { return s.ViolationCount == 0 }
+
+// String renders the campaign summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenarios: %d run (%d conforming, %d violating, %d skipped)\n", s.Runs, s.Conforming, s.Violating, s.Skipped)
+	fams := make([]string, 0, len(s.ByFamily))
+	for f := range s.ByFamily {
+		fams = append(fams, string(f))
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		fmt.Fprintf(&b, "  %-20s %6d\n", f, s.ByFamily[Family(f)])
+	}
+	if len(s.ExpectedCounts) > 0 {
+		fmt.Fprintf(&b, "expected theorem-shaped failures (envelope-violating/baseline runs only):\n")
+		for _, p := range core.AllProperties() {
+			if n := s.ExpectedCounts[p]; n > 0 {
+				fmt.Fprintf(&b, "  %-4s %6d\n", p, n)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "theorem-2 rediscoveries: %d\n", s.Theorem2Count)
+	fmt.Fprintf(&b, "property violations (bugs): %d\n", s.ViolationCount)
+	return b.String()
+}
+
+// Fuzz runs a campaign: Generate each seed, run its oracle, aggregate. The
+// aggregation is deterministic in (Options) regardless of Workers.
+func Fuzz(opts Options) *Stats {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 1
+	}
+	allowed := map[Family]bool{}
+	for _, f := range opts.Families {
+		allowed[f] = true
+	}
+	outcomes := make([]*Outcome, opts.Seeds)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sp := Generate(opts.StartSeed + int64(i))
+				if len(allowed) > 0 && !allowed[sp.Family] {
+					continue
+				}
+				outcomes[i] = Run(sp)
+			}
+		}()
+	}
+	for i := 0; i < opts.Seeds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	st := &Stats{ByFamily: map[Family]int{}, ExpectedCounts: map[core.Property]int{}}
+	for _, o := range outcomes {
+		if o == nil {
+			st.Skipped++
+			continue
+		}
+		st.Runs++
+		st.ByFamily[o.Spec.Family]++
+		if o.Class == ClassConforming {
+			st.Conforming++
+		} else {
+			st.Violating++
+		}
+		for _, p := range o.ExpectedFailures {
+			st.ExpectedCounts[p]++
+		}
+		if o.Theorem2 {
+			st.Theorem2Count++
+			if st.FirstTheorem2 == nil {
+				st.FirstTheorem2 = o
+			}
+		}
+		if !o.OK() {
+			st.ViolationCount++
+			if len(st.Violations) < opts.maxFailures() {
+				st.Violations = append(st.Violations, o)
+			}
+		}
+	}
+	return st
+}

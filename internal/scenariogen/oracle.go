@@ -1,0 +1,391 @@
+package scenariogen
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/deals"
+	"repro/internal/sim"
+	"repro/internal/timelock"
+	"repro/internal/trace"
+)
+
+// Horizon caps how long "eventually" is allowed to take in an
+// envelope-violating run, mirroring internal/explore: a protocol that only
+// terminates because the adversary's finite holdback ran out has no a-priori
+// bound — its termination time grows with the holdback — so exceeding the
+// horizon counts as a termination failure. This is the experimental reading
+// of Theorem 2's limit argument.
+const Horizon = 10 * sim.Minute
+
+// ViolationKind classifies how a run broke its oracle.
+type ViolationKind string
+
+// Violation kinds.
+const (
+	// KindProperty: a property owed under the spec's class failed.
+	KindProperty ViolationKind = "property"
+	// KindDifferential: the process and ANTA engines disagreed on a verdict
+	// or on the settlement trace of the same scenario.
+	KindDifferential ViolationKind = "differential"
+	// KindDeterminism: two runs of the same spec diverged.
+	KindDeterminism ViolationKind = "determinism"
+	// KindEngine: the engine returned an error on a valid scenario.
+	KindEngine ViolationKind = "engine"
+	// KindDeal: a deal-protocol guarantee (safety, termination, strong
+	// liveness, conservation) failed when owed.
+	KindDeal ViolationKind = "deal"
+)
+
+// Violation is one oracle failure: an invariant the paper (or the engine
+// contract) promises that the run did not honour. Any Violation found by the
+// fuzzer is a bug in the repository, never an expected outcome.
+type Violation struct {
+	Kind     ViolationKind `json:"kind"`
+	Property core.Property `json:"property,omitempty"`
+	Detail   string        `json:"detail"`
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	if v.Property != "" {
+		return fmt.Sprintf("%s[%s]: %s", v.Kind, v.Property, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Kind, v.Detail)
+}
+
+// Outcome is the oracle's evaluation of one generated scenario.
+type Outcome struct {
+	Spec     Spec   `json:"spec"`
+	Class    Class  `json:"class"`
+	Protocol string `json:"protocol"`
+	// Violations are owed invariants that failed — bugs.
+	Violations []Violation `json:"violations,omitempty"`
+	// ExpectedFailures are properties that failed where the theorem
+	// structure permits (or predicts) failure: liveness and termination
+	// under envelope-violating schedules (Theorem 2's content), CS1 for the
+	// HTLC baseline (its documented gap).
+	ExpectedFailures []core.Property `json:"expectedFailures,omitempty"`
+	// Theorem2 marks a violating-class timeout-family run in which the
+	// adversarial schedule defeated Definition 1 (T, L or CS2 failed): a
+	// rediscovery of the impossibility result by random search.
+	Theorem2 bool     `json:"theorem2,omitempty"`
+	BobPaid  bool     `json:"bobPaid,omitempty"`
+	Duration sim.Time `json:"duration,omitempty"`
+	// Events and TraceLen fingerprint the run (fired simulation events and
+	// recorded trace length; message count for deal runs) so determinism
+	// comparisons catch drift that leaves duration and outcome unchanged.
+	Events   uint64 `json:"events,omitempty"`
+	TraceLen int    `json:"traceLen,omitempty"`
+}
+
+// OK reports whether the run honoured every owed invariant.
+func (o *Outcome) OK() bool { return len(o.Violations) == 0 }
+
+// checkOptions returns the property-evaluation options for a payment spec.
+func (sp Spec) checkOptions(class Class) check.Options {
+	if sp.isWeaklive() {
+		return check.Def2(sp.PatienceFloor)
+	}
+	if sp.isTimelockFamily() && class == ClassConforming {
+		// Conforming specs run derived windows (TimeoutScale 0/1), so the
+		// bound comes straight from the derivation.
+		params := timelock.DeriveParams(core.NewTopology(sp.N), sp.Timing.Timing(), sp.Family != FamNaive)
+		return check.Def1TimeBounded(params.Bound)
+	}
+	return check.Def1Eventual()
+}
+
+// owed reports whether a property verdict is owed (must hold) for this spec
+// and class. Non-owed properties that fail are recorded as expected
+// failures.
+func (sp Spec) owed(p core.Property, class Class) bool {
+	if sp.Family == FamHTLC {
+		// The baseline's documented gap: Alice pays without ever receiving a
+		// transferable certificate, so CS1 fails even on the happy path.
+		if p == core.PropCS1 {
+			return false
+		}
+		if class == ClassViolating {
+			// Late claims surface as rejected-claim events (C) and refunds
+			// of a revealed preimage (CS2); only the escrow-security core is
+			// unconditional.
+			switch p {
+			case core.PropEscrowSecurity, core.PropCS3, core.PropConservation:
+				return true
+			}
+			return false
+		}
+		return true
+	}
+	if class == ClassConforming {
+		return true
+	}
+	if sp.isWeaklive() {
+		switch p {
+		case core.PropStrongLiveness, core.PropWeakLiveness:
+			// Impatient customers under pre-GST delays legitimately abort.
+			return false
+		case core.PropCertConsistency:
+			// CC is exactly the agreement of the transaction manager; it is
+			// only owed while the manager's trust assumption stands.
+			return sp.managerTrustIntact()
+		case core.PropTermination:
+			// Termination is owed whenever every customer's patience is
+			// finite (an abort decision always arrives eventually) and the
+			// manager can still decide.
+			return sp.allPatienceFinite() && sp.managerTrustIntact()
+		}
+		return true
+	}
+	// Timeout family under an envelope-violating schedule: Theorem 2 says
+	// some of {T, L, CS2} must be defeatable; everything else stays owed.
+	switch p {
+	case core.PropTermination, core.PropStrongLiveness, core.PropCS2:
+		return false
+	}
+	return true
+}
+
+// managerTrustIntact reports whether the transaction-manager trust
+// assumption of Theorem 3 holds in the fault assignment.
+func (sp Spec) managerTrustIntact() bool {
+	if _, faulty := sp.Faults[core.ManagerID]; faulty {
+		return false
+	}
+	notaryFaults := 0
+	topo := core.NewTopology(sp.N)
+	for id := range sp.Faults {
+		if topo.RoleOf(id) == core.RoleNotary {
+			notaryFaults++
+		}
+	}
+	if sp.Family == FamCommittee {
+		return notaryFaults <= maxNotaryFaults(sp.committeeSize())
+	}
+	return notaryFaults == 0
+}
+
+// allPatienceFinite reports whether every customer has finite patience.
+func (sp Spec) allPatienceFinite() bool {
+	for i := 0; i <= sp.N; i++ {
+		if sp.Patience[core.CustomerID(i)] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the spec and evaluates its oracle. Scenario errors are
+// reported as violations (the generator never produces invalid specs, and a
+// replay file that stopped validating is itself a regression).
+func Run(sp Spec) *Outcome {
+	out := &Outcome{Spec: sp, Class: sp.Class()}
+	if sp.isDeal() {
+		runDeal(sp, out)
+		return out
+	}
+	runPayment(sp, out)
+	return out
+}
+
+// runPayment executes and judges a payment-family spec.
+func runPayment(sp Spec, out *Outcome) {
+	s, err := sp.Scenario()
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: err.Error()})
+		return
+	}
+	protos, err := sp.Protocols()
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: err.Error()})
+		return
+	}
+	opts := sp.checkOptions(out.Class)
+	results := make([]*core.RunResult, 0, len(protos))
+	reports := make([]check.Report, 0, len(protos))
+	for _, p := range protos {
+		res, err := p.Run(s)
+		if err != nil {
+			out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: p.Name() + ": " + err.Error()})
+			return
+		}
+		results = append(results, res)
+		reports = append(reports, check.Evaluate(res, opts))
+	}
+	primary, rep := results[0], reports[0]
+	out.Protocol = primary.Protocol
+	out.BobPaid = primary.BobPaid
+	out.Duration = primary.Duration
+	out.Events = primary.EventsFired
+	out.TraceLen = primary.Trace.Len()
+
+	judgeReport(sp, out, rep, primary.Duration)
+	if sp.Family == FamDifferential {
+		judgeDifferential(out, results, reports)
+	}
+	if sp.wantDeterminism() {
+		q, err := protos[0].Run(s)
+		if err != nil {
+			out.Violations = append(out.Violations, Violation{Kind: KindDeterminism, Detail: "rerun errored: " + err.Error()})
+			return
+		}
+		if q.Duration != primary.Duration || q.EventsFired != primary.EventsFired ||
+			q.BobPaid != primary.BobPaid || q.Trace.Len() != primary.Trace.Len() {
+			out.Violations = append(out.Violations, Violation{
+				Kind:   KindDeterminism,
+				Detail: fmt.Sprintf("rerun diverged: duration %v vs %v, events %d vs %d", primary.Duration, q.Duration, primary.EventsFired, q.EventsFired),
+			})
+		}
+	}
+}
+
+// judgeReport folds one property report into the outcome: owed failures
+// become violations, the rest are recorded as expected. The horizon rule
+// upgrades slow envelope-violating runs to termination failures.
+func judgeReport(sp Spec, out *Outcome, rep check.Report, duration sim.Time) {
+	failed := map[core.Property]string{}
+	for _, p := range rep.Failures() {
+		failed[p] = rep.Verdict(p).Detail
+	}
+	if out.Class == ClassViolating && duration > Horizon {
+		if _, already := failed[core.PropTermination]; !already {
+			failed[core.PropTermination] = fmt.Sprintf("run lasted %v, beyond the %v horizon", duration, Horizon)
+		}
+	}
+	for _, p := range core.AllProperties() {
+		detail, ok := failed[p]
+		if !ok {
+			continue
+		}
+		if sp.owed(p, out.Class) {
+			out.Violations = append(out.Violations, Violation{Kind: KindProperty, Property: p, Detail: detail})
+		} else {
+			out.ExpectedFailures = append(out.ExpectedFailures, p)
+		}
+	}
+	if out.Class == ClassViolating && sp.isTimelockFamily() {
+		for _, p := range out.ExpectedFailures {
+			if p == core.PropTermination || p == core.PropStrongLiveness || p == core.PropCS2 {
+				out.Theorem2 = true
+			}
+		}
+	}
+}
+
+// settlementTrace projects a trace onto its value-moving events (lock,
+// release, refund, transfer). The process and ANTA engines differ in
+// internal state bookkeeping by design, but on scenarios in the differential
+// domain they must settle the same money the same way in the same order.
+func settlementTrace(tr *trace.Trace) []string {
+	var out []string
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case trace.KindLock, trace.KindRelease, trace.KindRefund, trace.KindTransfer:
+			out = append(out, fmt.Sprintf("%s|%s|%s|%d", e.Kind, e.Actor, e.Peer, e.Value))
+		}
+	}
+	return out
+}
+
+// judgeDifferential compares the process-engine and ANTA-engine runs of the
+// same scenario: every Definition-1 verdict and the settlement trace must be
+// identical. Divergence means one engine drifted from Figure 2.
+func judgeDifferential(out *Outcome, results []*core.RunResult, reports []check.Report) {
+	proc, anta := reports[0], reports[1]
+	for _, p := range core.AllProperties() {
+		vp, okP := proc.Verdicts[p]
+		va, okA := anta.Verdicts[p]
+		if okP != okA || vp.Applicable != va.Applicable || vp.Holds != va.Holds {
+			out.Violations = append(out.Violations, Violation{
+				Kind:     KindDifferential,
+				Property: p,
+				Detail: fmt.Sprintf("process(applicable=%v holds=%v %s) vs anta(applicable=%v holds=%v %s)",
+					vp.Applicable, vp.Holds, vp.Detail, va.Applicable, va.Holds, va.Detail),
+			})
+		}
+	}
+	pt, at := settlementTrace(results[0].Trace), settlementTrace(results[1].Trace)
+	if len(pt) != len(at) {
+		out.Violations = append(out.Violations, Violation{
+			Kind:   KindDifferential,
+			Detail: fmt.Sprintf("settlement traces differ in length: process %d vs anta %d (%v vs %v)", len(pt), len(at), pt, at),
+		})
+		return
+	}
+	for i := range pt {
+		if pt[i] != at[i] {
+			out.Violations = append(out.Violations, Violation{
+				Kind:   KindDifferential,
+				Detail: fmt.Sprintf("settlement traces diverge at %d: process %q vs anta %q", i, pt[i], at[i]),
+			})
+			return
+		}
+	}
+}
+
+// runDeal executes and judges a deal-family spec against Herlihy et al.'s
+// properties: safety and termination unconditionally, strong liveness when
+// every party complies under a conforming schedule, plus the ledger audit.
+func runDeal(sp Spec, out *Outcome) {
+	cfg, err := sp.DealConfig()
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: err.Error()})
+		return
+	}
+	var res *deals.Result
+	if sp.Family == FamDealCertified {
+		res, err = deals.CertifiedCommit{}.Run(cfg)
+	} else {
+		res, err = deals.TimelockCommit{}.Run(cfg)
+	}
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: err.Error()})
+		return
+	}
+	out.Protocol = res.Protocol
+	out.Duration = res.Duration
+	out.Events = res.Stats.Sent
+	out.TraceLen = res.Trace.Len()
+	o := res.Outcome
+	out.BobPaid = o.AllTransferred()
+	if !o.SafetyHolds() {
+		out.Violations = append(out.Violations, Violation{Kind: KindDeal, Detail: "a compliant party ended with an unacceptable payoff"})
+	}
+	if !o.TerminationHolds() {
+		out.Violations = append(out.Violations, Violation{Kind: KindDeal, Detail: "a compliant party's asset stayed escrowed forever"})
+	}
+	if len(sp.Faults) == 0 && !o.AllTransferred() {
+		if out.Class == ClassConforming {
+			out.Violations = append(out.Violations, Violation{Kind: KindDeal, Detail: "all parties complied under synchrony but the deal did not complete"})
+		} else {
+			out.ExpectedFailures = append(out.ExpectedFailures, core.PropStrongLiveness)
+		}
+	}
+	if err := res.Book.AuditAll(); err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindDeal, Detail: "ledger audit: " + err.Error()})
+	}
+	if sp.wantDeterminism() {
+		var q *deals.Result
+		if sp.Family == FamDealCertified {
+			q, err = deals.CertifiedCommit{}.Run(cfg)
+		} else {
+			q, err = deals.TimelockCommit{}.Run(cfg)
+		}
+		if err != nil {
+			out.Violations = append(out.Violations, Violation{Kind: KindDeterminism, Detail: "rerun errored: " + err.Error()})
+			return
+		}
+		if q.Duration != res.Duration || q.Stats.Sent != res.Stats.Sent {
+			out.Violations = append(out.Violations, Violation{Kind: KindDeterminism, Detail: "deal rerun diverged"})
+		}
+	}
+}
+
+// wantDeterminism samples a sixteenth of the seed space for the double-run
+// determinism oracle; committee runs are exempt (they are the costliest, and
+// internal/weaklive's own tests already pin their determinism).
+func (sp Spec) wantDeterminism() bool {
+	return sp.Seed%16 == 0 && sp.Family != FamCommittee
+}

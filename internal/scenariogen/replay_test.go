@@ -1,0 +1,134 @@
+package scenariogen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestReplaySaveLoadVerifyRoundTrip(t *testing.T) {
+	sp := baseSpec(FamTimelock)
+	sp.Net = NetworkSpec{Kind: NetAttack, Attack: "delay-money", Holdback: sim.Hour}
+	out := Run(sp)
+	if out.Theorem2 != true {
+		t.Fatalf("money holdback did not defeat Definition 1: %+v", out)
+	}
+	r := NewReplay(out, "round-trip test")
+	path := filepath.Join(t.TempDir(), "replay.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReplay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Note != "round-trip test" || back.Expect.Protocol != out.Protocol {
+		t.Fatalf("replay metadata lost: %+v", back)
+	}
+	if err := back.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayVerifyCatchesTampering(t *testing.T) {
+	sp := baseSpec(FamTimelock)
+	sp.Net = NetworkSpec{Kind: NetAttack, Attack: "delay-money", Holdback: sim.Hour}
+	r := NewReplay(Run(sp), "")
+	cases := map[string]func(*Replay){
+		"wrong version":  func(r *Replay) { r.Version = 99 },
+		"wrong class":    func(r *Replay) { r.Expect.Class = ClassConforming },
+		"wrong protocol": func(r *Replay) { r.Expect.Protocol = "htlc" },
+		"wrong violated": func(r *Replay) { r.Expect.Violated = nil },
+		"wrong buggy":    func(r *Replay) { r.Expect.Buggy = true },
+		"wrong theorem2": func(r *Replay) { r.Expect.Theorem2 = false },
+		"wrong bobPaid":  func(r *Replay) { r.Expect.BobPaid = !r.Expect.BobPaid },
+	}
+	for name, tamper := range cases {
+		c := r
+		tamper(&c)
+		if err := c.Verify(); err == nil {
+			t.Errorf("%s: Verify accepted the tampered replay", name)
+		}
+	}
+}
+
+func TestLoadReplayRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReplay(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := writeFile(invalid, `{"version":1,"spec":{"seed":1,"family":"nope","n":1,"base":1}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReplay(invalid); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := LoadReplay(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestKeepViolationMatchesKindAndProperty(t *testing.T) {
+	witness := Violation{Kind: KindProperty, Property: core.PropTermination}
+	keep := KeepViolation(witness)
+	hit := &Outcome{Violations: []Violation{{Kind: KindProperty, Property: core.PropTermination, Detail: "x"}}}
+	miss := &Outcome{Violations: []Violation{{Kind: KindProperty, Property: core.PropCS1}}}
+	clean := &Outcome{}
+	if !keep(hit) || keep(miss) || keep(clean) {
+		t.Fatal("KeepViolation predicate wrong")
+	}
+	if (Violation{Kind: KindProperty, Property: core.PropCS1, Detail: "d"}).String() == "" {
+		t.Fatal("empty violation rendering")
+	}
+}
+
+func TestStatsRendering(t *testing.T) {
+	st := Fuzz(Options{Seeds: 30})
+	if !st.Clean() {
+		t.Fatalf("30-seed campaign found violations: %v", st.Violations)
+	}
+	s := st.String()
+	for _, want := range []string{"scenarios:", "property violations (bugs): 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if Generate(0).Describe() == "" {
+		t.Error("empty spec rendering")
+	}
+}
+
+func TestOracleViolatingWeakliveKeepsSafetyAndTermination(t *testing.T) {
+	// Impatient customers under pre-GST delays: the liveness gap Definition 2
+	// permits. Safety, CC and termination stay owed — and must pass.
+	sp := baseSpec(FamWeaklive)
+	sp.Net = NetworkSpec{Kind: NetPartial, GST: 5 * sim.Second, MaxPreGST: 30 * sim.Second}
+	sp.Patience = map[string]sim.Time{}
+	for i := 0; i <= sp.N; i++ {
+		sp.Patience[core.CustomerID(i)] = 100 * sim.Millisecond
+	}
+	sp.PatienceFloor = sp.SufficientPatience()
+	out := Run(sp)
+	if out.Class != ClassViolating {
+		t.Fatalf("class %s", out.Class)
+	}
+	if !out.OK() {
+		t.Fatalf("safety or termination violated under impatience: %v", out.Violations)
+	}
+	if out.BobPaid {
+		t.Skip("this schedule was fast enough to commit before anyone aborted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,538 @@
+// Package scenariogen is the property-based scenario fuzzer: a seeded
+// generator of random protocol scenarios, a driver that runs them through the
+// Definition-1/2 property checkers of internal/check, theorem-shaped oracles
+// deciding which verdicts are owed, a greedy shrinker that minimises failing
+// scenarios, and a self-contained replay format for regressions.
+//
+// The paper's claims are universally quantified: Theorem 1 must hold on
+// every synchronous schedule, Theorem 2 needs only one adversarial schedule,
+// Theorem 3 must hold under any partial-synchrony behaviour. The experiment
+// grids in internal/bench and internal/explore only exercise hand-picked
+// points of those quantifiers; this package samples them. Every scenario is
+// a pure function of one int64 seed, so any failure report reduces to a
+// single number plus this package's version.
+package scenariogen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/deals"
+	"repro/internal/explore"
+	"repro/internal/htlc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/timelock"
+	"repro/internal/weaklive"
+)
+
+// Family selects the protocol (or protocol pair) a generated scenario
+// exercises.
+type Family string
+
+// Families. The timelock variants and htlc/weaklive run one core.Protocol;
+// differential runs the timelock process and ANTA engines on the same
+// scenario and compares them; the deal families run the Herlihy et al.
+// protocols on a well-formed ring deal.
+const (
+	FamTimelock      Family = "timelock"
+	FamANTA          Family = "timelock-anta"
+	FamNaive         Family = "timelock-naive"
+	FamHTLC          Family = "htlc"
+	FamWeaklive      Family = "weaklive"
+	FamCommittee     Family = "weaklive-committee"
+	FamDifferential  Family = "differential"
+	FamDealTimelock  Family = "deal-timelock"
+	FamDealCertified Family = "deal-certified"
+)
+
+// AllFamilies lists every family in canonical order.
+func AllFamilies() []Family {
+	return []Family{
+		FamTimelock, FamANTA, FamNaive, FamHTLC, FamWeaklive, FamCommittee,
+		FamDifferential, FamDealTimelock, FamDealCertified,
+	}
+}
+
+// ParseFamily resolves a family by name.
+func ParseFamily(name string) (Family, bool) {
+	for _, f := range AllFamilies() {
+		if string(f) == name {
+			return f, true
+		}
+	}
+	return "", false
+}
+
+// NetworkKind selects the delay model of a scenario.
+type NetworkKind string
+
+// Network kinds. Synchronous respects the timing envelope (Theorem 1's
+// model); partial-synchrony and attack violate it (Theorem 2/3's model).
+const (
+	NetSynchronous NetworkKind = "synchronous"
+	NetPartial     NetworkKind = "partial-synchrony"
+	NetAttack      NetworkKind = "attack"
+)
+
+// NetworkSpec is a serialisable description of a delay model. Unlike
+// netsim.DelayModel values (which carry closures), a NetworkSpec survives a
+// JSON round trip, which is what makes replay files self-contained.
+type NetworkSpec struct {
+	Kind NetworkKind `json:"kind"`
+	// Min is the synchronous lower delay bound; the upper bound is the
+	// scenario's Timing.Delta (envelope-conforming by construction).
+	Min sim.Time `json:"min,omitempty"`
+	// GST and MaxPreGST parametrise partial synchrony (delta is Timing.Delta).
+	GST       sim.Time `json:"gst,omitempty"`
+	MaxPreGST sim.Time `json:"maxPreGST,omitempty"`
+	// Attack names an explore.AttackByName schedule; Holdback is how long
+	// matched messages are delayed, Fast bounds every other delay.
+	Attack   string   `json:"attack,omitempty"`
+	Holdback sim.Time `json:"holdback,omitempty"`
+	Fast     sim.Time `json:"fast,omitempty"`
+}
+
+// TimingSpec is the serialisable counterpart of core.Timing.
+type TimingSpec struct {
+	Delta      sim.Time `json:"delta"`
+	Processing sim.Time `json:"processing"`
+	Rho        float64  `json:"rho"`
+	Offset     sim.Time `json:"offset"`
+}
+
+// Timing converts the spec to core.Timing.
+func (t TimingSpec) Timing() core.Timing {
+	return core.Timing{
+		MaxMsgDelay:   t.Delta,
+		MaxProcessing: t.Processing,
+		Clock:         clock.Bound{MaxRho: clock.Drift(t.Rho), MaxOffset: t.Offset},
+	}
+}
+
+// Spec is a fully serialisable scenario: everything needed to reconstruct
+// and re-run one protocol execution byte-identically. Generate derives a Spec
+// from a seed; replay files persist them as JSON.
+type Spec struct {
+	// Seed drives all run randomness (delays within bounds, drift draws).
+	Seed   int64  `json:"seed"`
+	Family Family `json:"family"`
+	// N is the number of escrows (payment families) or parties (deal
+	// families, ring deal with one asset per arc).
+	N int `json:"n"`
+	// Base and Commission fix the payment amounts (deal arcs use
+	// Base + i*Commission for arc i).
+	Base       int64       `json:"base"`
+	Commission int64       `json:"commission"`
+	Timing     TimingSpec  `json:"timing"`
+	Net        NetworkSpec `json:"net"`
+	// TimeoutScale scales the derived timelock windows: 0 or 1 = derived
+	// (sound), > 1 = scaled (still sound under synchrony), -1 = effectively
+	// infinite (the patient end of the Theorem-2 candidate family).
+	TimeoutScale float64 `json:"timeoutScale,omitempty"`
+	// CommitteeSize is the notary committee size for FamCommittee (0 = 4).
+	CommitteeSize int `json:"committeeSize,omitempty"`
+	// Faults maps participant IDs to adversary behaviour names.
+	Faults map[string]string `json:"faults,omitempty"`
+	// Patience maps customer IDs to weak-liveness patience (0 = infinite).
+	Patience map[string]sim.Time `json:"patience,omitempty"`
+	// PatienceFloor is the Definition-2 precondition passed to check.Def2 and
+	// the PartyPatience of certified deal runs.
+	PatienceFloor sim.Time `json:"patienceFloor,omitempty"`
+}
+
+// Validate checks that the spec is structurally sound and all names resolve.
+func (sp Spec) Validate() error {
+	if _, ok := ParseFamily(string(sp.Family)); !ok {
+		return fmt.Errorf("scenariogen: unknown family %q", sp.Family)
+	}
+	min := 1
+	if sp.Family == FamDealTimelock || sp.Family == FamDealCertified {
+		min = 2
+	}
+	if sp.N < min {
+		return fmt.Errorf("scenariogen: family %s needs n >= %d, got %d", sp.Family, min, sp.N)
+	}
+	if sp.Base < 1 {
+		return fmt.Errorf("scenariogen: base amount must be positive, got %d", sp.Base)
+	}
+	if sp.Commission < 0 {
+		return fmt.Errorf("scenariogen: negative commission %d", sp.Commission)
+	}
+	if sp.Timing.Delta <= 0 || sp.Timing.Processing <= 0 {
+		return fmt.Errorf("scenariogen: non-positive timing bounds")
+	}
+	switch sp.Net.Kind {
+	case NetSynchronous, NetPartial:
+	case NetAttack:
+		if _, ok := explore.AttackByName(sp.Net.Attack, sp.Net.Holdback); !ok {
+			return fmt.Errorf("scenariogen: unknown attack %q", sp.Net.Attack)
+		}
+	default:
+		return fmt.Errorf("scenariogen: unknown network kind %q", sp.Net.Kind)
+	}
+	for id, name := range sp.Faults {
+		if _, ok := adversary.ParseBehaviour(name); !ok {
+			return fmt.Errorf("scenariogen: unknown behaviour %q for %s", name, id)
+		}
+	}
+	return nil
+}
+
+// isDeal reports whether the spec runs a deal protocol.
+func (sp Spec) isDeal() bool {
+	return sp.Family == FamDealTimelock || sp.Family == FamDealCertified
+}
+
+// isTimelockFamily reports whether the spec runs a variant of the Figure-2
+// timeout protocol (including the differential pair).
+func (sp Spec) isTimelockFamily() bool {
+	switch sp.Family {
+	case FamTimelock, FamANTA, FamNaive, FamDifferential:
+		return true
+	}
+	return false
+}
+
+// isWeaklive reports whether the spec runs the Theorem-3 protocol.
+func (sp Spec) isWeaklive() bool {
+	return sp.Family == FamWeaklive || sp.Family == FamCommittee
+}
+
+// committeeSize resolves the committee size (0 defaults like weaklive does).
+func (sp Spec) committeeSize() int {
+	if sp.CommitteeSize <= 0 {
+		return 4
+	}
+	return sp.CommitteeSize
+}
+
+// SufficientPatience returns a patience that provably outlasts the
+// weak-liveness protocol's decision under a conforming synchronous schedule:
+// prepare and decision rounds are a constant number of hops, so a generous
+// multiple of the message-delay bound per participant leaves no schedule in
+// which an honest patient customer aborts before the commit.
+func (sp Spec) SufficientPatience() sim.Time {
+	extra := 0
+	if sp.Family == FamCommittee {
+		extra = sp.committeeSize()
+	}
+	return sim.Time(40*(sp.N+extra+5)) * sp.Timing.Delta
+}
+
+// sufficientDealPatience is the certified-deal analogue.
+func (sp Spec) sufficientDealPatience() sim.Time {
+	return sim.Time(100*(sp.N+5)) * sp.Timing.Delta
+}
+
+// network materialises the delay model.
+func (sp Spec) network() netsim.DelayModel {
+	switch sp.Net.Kind {
+	case NetPartial:
+		return netsim.PartialSynchrony{GST: sp.Net.GST, Delta: sp.Timing.Delta, MaxPreGST: sp.Net.MaxPreGST}
+	case NetAttack:
+		a, _ := explore.AttackByName(sp.Net.Attack, sp.Net.Holdback)
+		fast := sp.Net.Fast
+		if fast <= 0 {
+			fast = sp.Timing.Delta
+		}
+		return a.Model(fast)
+	default:
+		min := sp.Net.Min
+		if min < 1 {
+			min = 1
+		}
+		return netsim.Synchronous{Min: min, Max: sp.Timing.Delta}
+	}
+}
+
+// Scenario materialises the core scenario for a payment-family spec.
+func (sp Spec) Scenario() (core.Scenario, error) {
+	if err := sp.Validate(); err != nil {
+		return core.Scenario{}, err
+	}
+	if sp.isDeal() {
+		return core.Scenario{}, fmt.Errorf("scenariogen: %s is a deal family, use DealConfig", sp.Family)
+	}
+	s := core.NewScenario(sp.N, sp.Seed).
+		WithPayment(sp.Base, sp.Commission).
+		WithTiming(sp.Timing.Timing())
+	s = s.WithNetwork(sp.network())
+	for _, id := range sortedKeys(sp.Faults) {
+		b, _ := adversary.ParseBehaviour(sp.Faults[id])
+		s = s.SetFault(id, adversary.Spec(b, s.Timing))
+	}
+	for _, id := range sortedTimeKeys(sp.Patience) {
+		s = s.SetPatience(id, sp.Patience[id])
+	}
+	return s, nil
+}
+
+// Protocols materialises the protocol engines the spec runs: one for every
+// family except differential, which returns the process/ANTA pair.
+func (sp Spec) Protocols() ([]core.Protocol, error) {
+	build := func(p *timelock.Protocol) core.Protocol {
+		if sp.TimeoutScale != 0 && sp.TimeoutScale != 1 {
+			topo := core.NewTopology(sp.N)
+			params := timelock.DeriveParams(topo, sp.Timing.Timing(), p.DriftAware)
+			if sp.TimeoutScale < 0 {
+				params = params.Inflated()
+			} else {
+				params = params.Scaled(sp.TimeoutScale)
+			}
+			p.Params = &params
+		}
+		return p
+	}
+	switch sp.Family {
+	case FamTimelock:
+		return []core.Protocol{build(timelock.New())}, nil
+	case FamANTA:
+		return []core.Protocol{build(timelock.NewANTA())}, nil
+	case FamNaive:
+		return []core.Protocol{build(timelock.NewNaive())}, nil
+	case FamDifferential:
+		return []core.Protocol{build(timelock.New()), build(timelock.NewANTA())}, nil
+	case FamHTLC:
+		return []core.Protocol{htlc.New()}, nil
+	case FamWeaklive:
+		return []core.Protocol{weaklive.New()}, nil
+	case FamCommittee:
+		return []core.Protocol{weaklive.NewCommittee(sp.committeeSize())}, nil
+	}
+	return nil, fmt.Errorf("scenariogen: family %s has no core.Protocol", sp.Family)
+}
+
+// dealPartyID returns the canonical ID of deal party i.
+func dealPartyID(i int) string { return fmt.Sprintf("p%d", i) }
+
+// Deal materialises the ring deal of a deal-family spec: N parties p0..p_{N-1},
+// arc i transferring Base + i*Commission of asset_i from p_i to p_{(i+1)%N}.
+// A ring is strongly connected, hence well-formed in the sense of Herlihy et
+// al., so their protocols' guarantees are owed on it.
+func (sp Spec) Deal() *deals.Deal {
+	parties := make([]string, sp.N)
+	for i := range parties {
+		parties[i] = dealPartyID(i)
+	}
+	d := deals.NewDeal(parties...)
+	for i := 0; i < sp.N; i++ {
+		d.Transfer(parties[i], parties[(i+1)%sp.N], deals.Asset{
+			Type:   fmt.Sprintf("asset%d", i),
+			Amount: sp.Base + int64(i)*sp.Commission,
+		})
+	}
+	return d
+}
+
+// DealConfig materialises the deal-protocol configuration of a deal spec.
+func (sp Spec) DealConfig() (deals.Config, error) {
+	if err := sp.Validate(); err != nil {
+		return deals.Config{}, err
+	}
+	if !sp.isDeal() {
+		return deals.Config{}, fmt.Errorf("scenariogen: %s is not a deal family", sp.Family)
+	}
+	cfg := deals.Config{
+		Deal:    sp.Deal(),
+		Timing:  sp.Timing.Timing(),
+		Network: sp.network(),
+		Seed:    sp.Seed,
+	}
+	nc := map[string]bool{}
+	for id := range sp.Faults {
+		nc[id] = true
+	}
+	if len(nc) > 0 {
+		cfg.NonCompliant = nc
+	}
+	if sp.Family == FamDealCertified {
+		cfg.PartyPatience = sp.PatienceFloor
+		if cfg.PartyPatience <= 0 {
+			cfg.PartyPatience = sp.sufficientDealPatience()
+		}
+	}
+	return cfg, nil
+}
+
+// Class partitions scenarios by whether they satisfy the preconditions of
+// the theorem covering their protocol.
+type Class string
+
+// Classes. Conforming scenarios satisfy the relevant theorem's
+// preconditions, so every owed property verdict must hold — any failure is a
+// bug. Violating scenarios break the synchrony envelope (or the trust
+// assumptions); there the safety oracle still applies but
+// liveness/termination failures are the expected, theorem-shaped outcome.
+const (
+	ClassConforming Class = "conforming"
+	ClassViolating  Class = "violating"
+)
+
+// maxNotaryFaults is f for a 3f+1 committee.
+func maxNotaryFaults(size int) int { return (size - 1) / 3 }
+
+// Class derives the spec's class from its content (never stored, so shrinker
+// mutations and hand-edited replays classify consistently).
+func (sp Spec) Class() Class {
+	if sp.Net.Kind != NetSynchronous {
+		return ClassViolating
+	}
+	if sp.Net.Min > sp.Timing.Delta {
+		return ClassViolating
+	}
+	if sp.TimeoutScale != 0 && sp.TimeoutScale != 1 {
+		return ClassViolating
+	}
+	if sp.Family == FamNaive && sp.Timing.Rho != 0 {
+		// The drift-unaware ablation is only sound on drift-free clocks.
+		return ClassViolating
+	}
+	if !sp.faultsConforming() {
+		return ClassViolating
+	}
+	if sp.isWeaklive() {
+		// Theorem 3's liveness is conditional on patience: a customer with
+		// finite but insufficient patience may abort a conforming schedule,
+		// and one with infinite patience never terminates a stuck one.
+		suff := sp.SufficientPatience()
+		for i := 0; i <= sp.N; i++ {
+			p, ok := sp.Patience[core.CustomerID(i)]
+			if !ok || p == 0 || p < suff {
+				return ClassViolating
+			}
+		}
+	}
+	return ClassConforming
+}
+
+// differentialCustomer and differentialEscrow are the fault behaviours on
+// which the process and ANTA engines are specified to agree. The engines
+// model mid-run crashes, action delays and forgery detection differently (by
+// design: the process engine implements the full behaviour library, the
+// automata stay faithful to Figure 2), so the differential oracle only
+// quantifies over this common core.
+var differentialCustomer = []adversary.Behaviour{
+	adversary.CrashAtStart, adversary.Silent, adversary.Withhold, adversary.RefusePayment,
+}
+
+var differentialEscrow = []adversary.Behaviour{
+	adversary.CrashAtStart, adversary.Silent, adversary.Withhold, adversary.Theft, adversary.Equivocation,
+}
+
+func behaviourIn(b adversary.Behaviour, set []adversary.Behaviour) bool {
+	for _, x := range set {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// faultsConforming checks the fault assignment against the family's trust
+// assumptions: at most two faulty chain participants drawn from the
+// behaviours meaningful for their role, no faulty transaction manager, and
+// at most f faulty notaries for a 3f+1 committee.
+func (sp Spec) faultsConforming() bool {
+	if sp.isDeal() {
+		return true // any non-compliant subset is within Herlihy et al.'s model
+	}
+	chainFaults, notaryFaults := 0, 0
+	topo := core.NewTopology(sp.N)
+	for id, name := range sp.Faults {
+		b, ok := adversary.ParseBehaviour(name)
+		if !ok || b == adversary.Honest {
+			return false
+		}
+		switch topo.RoleOf(id) {
+		case core.RoleAlice, core.RoleConnector, core.RoleBob:
+			set := adversary.CustomerBehaviours()
+			if sp.Family == FamDifferential {
+				set = differentialCustomer
+			}
+			if !behaviourIn(b, set) {
+				return false
+			}
+			chainFaults++
+		case core.RoleEscrow:
+			set := adversary.EscrowBehaviours()
+			if sp.Family == FamDifferential {
+				set = differentialEscrow
+			}
+			if !behaviourIn(b, set) {
+				return false
+			}
+			chainFaults++
+		case core.RoleNotary:
+			if sp.Family != FamCommittee {
+				return false
+			}
+			if b != adversary.Silent && b != adversary.CrashAtStart {
+				return false
+			}
+			notaryFaults++
+		default:
+			return false // manager faults (or unknown IDs) void the trust model
+		}
+	}
+	if chainFaults > 2 {
+		return false
+	}
+	if notaryFaults > maxNotaryFaults(sp.committeeSize()) {
+		return false
+	}
+	return true
+}
+
+// Describe renders the spec on one line.
+func (sp Spec) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s n=%d seed=%d base=%d comm=%d net=%s", sp.Family, sp.N, sp.Seed, sp.Base, sp.Commission, sp.Net.Kind)
+	if sp.Net.Kind == NetAttack {
+		fmt.Fprintf(&b, "(%s holdback=%v)", sp.Net.Attack, sp.Net.Holdback)
+	}
+	if sp.Net.Kind == NetPartial {
+		fmt.Fprintf(&b, "(gst=%v pre=%v)", sp.Net.GST, sp.Net.MaxPreGST)
+	}
+	if sp.TimeoutScale != 0 && sp.TimeoutScale != 1 {
+		fmt.Fprintf(&b, " scale=%g", sp.TimeoutScale)
+	}
+	if len(sp.Faults) > 0 {
+		keys := sortedKeys(sp.Faults)
+		parts := make([]string, 0, len(keys))
+		for _, id := range keys {
+			parts = append(parts, id+"="+sp.Faults[id])
+		}
+		fmt.Fprintf(&b, " faults=%s", strings.Join(parts, ","))
+	}
+	return b.String()
+}
+
+// MarshalIndent renders the spec as pretty JSON.
+func (sp Spec) MarshalIndent() []byte {
+	out, _ := json.MarshalIndent(sp, "", "  ")
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedTimeKeys(m map[string]sim.Time) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

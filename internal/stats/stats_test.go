@@ -307,3 +307,95 @@ func TestPropertyCounterRateBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSingleValueSample(t *testing.T) {
+	s := Of(42)
+	if s.N() != 1 || s.Mean() != 42 || s.Min() != 42 || s.Max() != 42 || s.Sum() != 42 {
+		t.Fatalf("single-value aggregates wrong: %s", s)
+	}
+	if s.Var() != 0 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatal("single value must have zero spread")
+	}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Errorf("p%v = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestIdenticalValuesSample(t *testing.T) {
+	s := Of(7, 7, 7, 7, 7)
+	if s.Mean() != 7 || s.Var() != 0 || s.StdDev() != 0 {
+		t.Fatalf("identical values must have mean 7 and zero spread: %s", s)
+	}
+	for _, p := range []float64{0, 25, 50, 75, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Errorf("p%v = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestPercentileOutOfRangeClamped(t *testing.T) {
+	s := Of(1, 2, 3)
+	if got := s.Percentile(-10); got != 1 {
+		t.Errorf("p(-10) = %v, want the minimum", got)
+	}
+	if got := s.Percentile(250); got != 3 {
+		t.Errorf("p(250) = %v, want the maximum", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.N() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram must report zeros everywhere")
+	}
+	for _, p := range []float64{0, 50, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty histogram p%v = %v", p, got)
+		}
+	}
+}
+
+func TestSingleValueHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(42)
+	if h.N() != 1 || h.Mean() != 42 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("single-value aggregates wrong: %s", h)
+	}
+	// P0 and P100 are exact (the min/max envelope); interior percentiles
+	// are clamped into it, so a single value is reported exactly everywhere.
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Errorf("p%v = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestIdenticalValuesHistogram(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Add(7)
+	}
+	if h.N() != 1000 || h.Mean() != 7 || h.Min() != 7 || h.Max() != 7 || h.Sum() != 7000 {
+		t.Fatalf("identical-value aggregates wrong: %s", h)
+	}
+	for _, p := range []float64{0, 25, 50, 75, 100} {
+		if got := h.Percentile(p); got != 7 {
+			t.Errorf("p%v = %v, want 7 exactly (min/max clamp)", p, got)
+		}
+	}
+}
+
+func TestHistogramPercentile0And100AreExact(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{3.14, 100, 0.5, 9999, 42} {
+		h.Add(v)
+	}
+	if got := h.Percentile(0); got != 0.5 {
+		t.Errorf("p0 = %v, want the exact minimum 0.5", got)
+	}
+	if got := h.Percentile(100); got != 9999 {
+		t.Errorf("p100 = %v, want the exact maximum 9999", got)
+	}
+}

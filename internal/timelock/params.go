@@ -119,6 +119,40 @@ func DeriveParams(topo core.Topology, t core.Timing, driftAware bool) Params {
 	return p
 }
 
+// Scaled returns a copy of the parameters with every window and the
+// termination bound multiplied by scale (> 0). Any scale >= 1 keeps the
+// derivation sound under synchrony; the Theorem-2 exploration uses scaled
+// variants as the timeout-protocol family that partial synchrony defeats.
+func (p Params) Scaled(scale float64) Params {
+	q := p
+	q.A = make([]sim.Time, len(p.A))
+	q.D = make([]sim.Time, len(p.D))
+	for i := range p.A {
+		q.A[i] = sim.Time(float64(p.A[i]) * scale)
+		q.D[i] = sim.Time(float64(p.D[i])*scale) + 1
+	}
+	q.Bound = sim.Time(float64(p.Bound)*scale) + 1
+	return q
+}
+
+// Inflated returns a copy of the parameters with effectively infinite
+// timeout windows (about 35 simulated years), kept strictly nested so the
+// parameters stay structurally valid. It is the patient end of the
+// timeout-protocol family: under an adversarial schedule it never refunds,
+// so it loses termination instead of liveness.
+func (p Params) Inflated() Params {
+	q := p
+	q.A = make([]sim.Time, len(p.A))
+	q.D = make([]sim.Time, len(p.D))
+	base := sim.Time(1) << 50
+	for i := range q.A {
+		q.A[i] = base - sim.Time(i)*sim.Hour
+		q.D[i] = q.A[i] + sim.Hour
+	}
+	q.Bound = sim.Time(1) << 55
+	return q
+}
+
 // Validate checks internal consistency of the parameters: windows must be
 // positive and strictly nested (a_0 > a_1 > ... > a_{n-1}), and each d_i
 // must exceed a_i — otherwise the guarantee G(d_i) could be violated by an

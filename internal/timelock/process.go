@@ -170,13 +170,15 @@ func (p *escrowProc) onMoney(from string, m MsgMoney) {
 	want := p.env.scn.Spec.AmountVia(p.i)
 	if m.Amount != want {
 		p.env.tr.Append(trace.Event{
-			At: p.env.eng.Now(), Kind: trace.KindViolation, Actor: p.id, Peer: from,
+			At: p.env.eng.Now(), Kind: trace.KindDetection, Actor: p.id, Peer: from,
 			Label: "wrong-amount", Value: m.Amount, Extra: fmt.Sprintf("expected %d", want),
 		})
 		return
 	}
 	lk, err := p.led.CreateLock(p.env.eng.Now(), p.lockID, p.up, p.down, want, ledger.Condition{})
 	if err != nil {
+		// A failed lock is the escrow's own inability to execute its role,
+		// not a rejection of peer input: a violation, never excused.
 		p.env.tr.Append(trace.Event{
 			At: p.env.eng.Now(), Kind: trace.KindViolation, Actor: p.id, Peer: from,
 			Label: "lock-failed", Value: want, Extra: err.Error(),
@@ -216,7 +218,7 @@ func (p *escrowProc) onCert(from string, m MsgCert) {
 	}
 	topo := p.env.scn.Topology
 	if !m.Cert.Verify(p.env.kr, topo.Bob()) || m.Cert.PaymentID != p.env.scn.Spec.PaymentID {
-		p.env.tr.Add(p.env.eng.Now(), trace.KindViolation, p.id, from, "invalid-certificate")
+		p.env.tr.Add(p.env.eng.Now(), trace.KindDetection, p.id, from, "invalid-certificate")
 		return
 	}
 	// The certificate only counts if it arrives before the local deadline

@@ -35,6 +35,7 @@ const (
 	KindAbort      Kind = "abort"       // a participant decided to abort
 	KindTerminate  Kind = "terminate"   // a participant terminated
 	KindViolation  Kind = "violation"   // a protocol-internal invariant was observed broken
+	KindDetection  Kind = "detection"   // a participant detected and rejected a peer's invalid input
 	KindByzantine  Kind = "byzantine"   // a Byzantine action was performed
 	KindConsensus  Kind = "consensus"   // a consensus-layer event (notary committee)
 	KindDecision   Kind = "decision"    // transaction manager decision (commit/abort)

@@ -116,7 +116,7 @@ func (p *escrowProc) onPay(from string, m MsgPay) {
 	}
 	want := p.run.scn.Spec.AmountVia(p.i)
 	if m.Amount != want || m.PaymentID != p.run.scn.Spec.PaymentID {
-		p.run.tr.AddValue(p.run.eng.Now(), trace.KindViolation, p.id, from, "wrong-amount", m.Amount)
+		p.run.tr.AddValue(p.run.eng.Now(), trace.KindDetection, p.id, from, "wrong-amount", m.Amount)
 		return
 	}
 	if _, err := p.led.CreateLock(p.run.eng.Now(), p.run.lockID(p.i), p.up, p.down, want, ledger.Condition{}); err != nil {

@@ -49,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/htlc"
 	"repro/internal/netsim"
+	"repro/internal/scenariogen"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timelock"
@@ -112,6 +113,22 @@ type (
 	// runs that drop per-payment records: exact mean/min/max/sum, and
 	// percentile estimates within 1% relative error in constant memory.
 	Histogram = stats.Histogram
+	// ScenarioSpec is a fully serialisable random scenario produced by the
+	// property-based fuzzer: protocol family, chain, amounts, timing,
+	// schedule (within or violating the synchrony envelope), faults and
+	// patience, reconstructible byte-identically from JSON.
+	ScenarioSpec = scenariogen.Spec
+	// ScenarioOutcome is the fuzzer oracle's evaluation of one generated
+	// scenario: owed-property violations (bugs) versus expected
+	// theorem-shaped failures.
+	ScenarioOutcome = scenariogen.Outcome
+	// FuzzOptions configures a fuzzing campaign over consecutive seeds.
+	FuzzOptions = scenariogen.Options
+	// FuzzStats aggregates a fuzzing campaign.
+	FuzzStats = scenariogen.Stats
+	// ScenarioReplay is a saved counterexample: a spec plus the outcome it
+	// must reproduce deterministically.
+	ScenarioReplay = scenariogen.Replay
 )
 
 // Workload arrival processes and amount distributions, re-exported.
@@ -223,6 +240,26 @@ func SeedSweepTraffic(s Scenario, w Workload, seeds []int64) []TrafficPoint {
 func GridTraffic(chains []int, seeds []int64, w Workload, mutate func(Scenario) Scenario) []TrafficPoint {
 	return traffic.Grid(chains, seeds, w, mutate)
 }
+
+// GenerateScenario derives a random fuzzing scenario from a seed — a pure
+// function of the seed, so every finding is reproducible from one number.
+// About 70% of seeds satisfy the theorem preconditions (Theorem-1/3
+// conforming: every owed property must hold) and the rest violate the
+// synchrony envelope (where safety must survive but Theorem-2-shaped
+// liveness and termination failures are the expected outcome).
+func GenerateScenario(seed int64) ScenarioSpec { return scenariogen.Generate(seed) }
+
+// RunScenarioSpec executes a generated scenario and evaluates the fuzzer's
+// theorem-shaped oracle over the run's property report.
+func RunScenarioSpec(sp ScenarioSpec) *ScenarioOutcome { return scenariogen.Run(sp) }
+
+// FuzzScenarios runs a fuzzing campaign over consecutive seeds; results are
+// deterministic in the options regardless of the worker count.
+func FuzzScenarios(opts FuzzOptions) *FuzzStats { return scenariogen.Fuzz(opts) }
+
+// LoadScenarioReplay reads a saved counterexample; its Verify method re-runs
+// it and checks it reproduces exactly. cmd/xchain-fuzz writes these files.
+func LoadScenarioReplay(path string) (ScenarioReplay, error) { return scenariogen.LoadReplay(path) }
 
 // CheckTimeBounded evaluates a run against Definition 1 in its time-bounded
 // variant: termination must happen within bound.
