@@ -171,7 +171,7 @@ func BenchmarkTraffic1kPaymentsSerial(b *testing.B) { benchTraffic(b, 1) }
 // peak-heap-MB across the 100k and 1M variants; per-payment protocol
 // simulation dominates ns/op). Run with -benchtime=1x: one million
 // payments cost minutes of ed25519 work per iteration.
-func benchTrafficStream(b *testing.B, payments int, rate float64) {
+func benchTrafficStream(b *testing.B, payments int, rate float64, crypto string) {
 	b.Helper()
 	s := NewScenario(2, 42)
 	w := NewWorkload(payments)
@@ -196,7 +196,7 @@ func benchTrafficStream(b *testing.B, payments int, rate float64) {
 	}()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := RunTrafficWith(s, w, TrafficConfig{Stream: true})
+		res, err := RunTrafficWith(s, w, TrafficConfig{Stream: true, Crypto: crypto})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -213,14 +213,29 @@ func benchTrafficStream(b *testing.B, payments int, rate float64) {
 	b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
 }
 
-// BenchmarkTraffic100kPaymentsStream is the CI-sized streaming run.
-func BenchmarkTraffic100kPaymentsStream(b *testing.B) { benchTrafficStream(b, 100_000, 20_000) }
+// BenchmarkTraffic100kPaymentsStream is the CI-sized streaming run
+// (default ed25519 backend).
+func BenchmarkTraffic100kPaymentsStream(b *testing.B) { benchTrafficStream(b, 100_000, 20_000, "") }
+
+// BenchmarkTraffic100kPaymentsStreamHMAC is the same run on the hmac
+// backend: identical aggregates, with the model-assumed crypto off the hot
+// path (compare ns/op against the ed25519 variant).
+func BenchmarkTraffic100kPaymentsStreamHMAC(b *testing.B) {
+	benchTrafficStream(b, 100_000, 20_000, CryptoHMAC)
+}
 
 // BenchmarkTraffic1MPayments pushes one million payments through the
 // streaming pipeline — the scale target of the ROADMAP north star. Memory
 // stays flat versus the 100k variant; only wall-clock grows (linearly, in
 // the per-payment protocol simulations).
-func BenchmarkTraffic1MPayments(b *testing.B) { benchTrafficStream(b, 1_000_000, 20_000) }
+func BenchmarkTraffic1MPayments(b *testing.B) { benchTrafficStream(b, 1_000_000, 20_000, "") }
+
+// BenchmarkTraffic1MPaymentsHMAC is the million-payment run with
+// authentication on the hmac backend — the "as fast as the hardware
+// allows" configuration now that ed25519 no longer dominates the profile.
+func BenchmarkTraffic1MPaymentsHMAC(b *testing.B) {
+	benchTrafficStream(b, 1_000_000, 20_000, CryptoHMAC)
+}
 
 // Kernel micro-benchmarks: the raw cost of the simulation kernel's hot path
 // (event scheduling/firing and muted message delivery), independent of any

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/scenariogen"
+	"repro/internal/sig"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replay    = fs.String("replay", "", "verify a saved replay file instead of fuzzing")
 		seedOnly  = fs.Int64("print-seed", 0, "print the scenario generated from this seed and exit")
 		requireT2 = fs.Bool("require-theorem2", false, "exit non-zero unless a Theorem-2 violation is rediscovered")
+		crypto    = fs.String("crypto", "", "signature backend for every run: ed25519 (default), hmac (same verdicts, cheaper campaigns)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -54,6 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if _, ok := sig.BackendByName(*crypto); !ok {
+		fmt.Fprintf(stderr, "unknown crypto backend %q (have %v)\n", *crypto, sig.BackendNames())
+		return 2
+	}
 	if *replay != "" {
 		return runReplay(*replay, stdout, stderr)
 	}
@@ -72,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	opts := scenariogen.Options{Seeds: *seeds, StartSeed: *start, Workers: *workers}
+	opts := scenariogen.Options{Seeds: *seeds, StartSeed: *start, Workers: *workers, Crypto: *crypto}
 	for _, name := range strings.Split(*families, ",") {
 		if name = strings.TrimSpace(name); name == "" {
 			continue

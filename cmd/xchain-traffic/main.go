@@ -30,6 +30,10 @@
 //	                   -payments (aggregates only; identical counts/rates)
 //	-exemplars 10      payments kept as a reservoir sample with -stream
 //	-sweep-seeds 0     additionally sweep this many seeds in parallel
+//	-crypto ed25519    signature backend: ed25519 (default), hmac (identical
+//	                   aggregates, orders of magnitude less signing CPU)
+//	-crypto-stats      print key-cache / verification-memo counters
+//	-max-verify-miss 0 fail if the verify-memo miss rate exceeds this fraction
 //	-v                 print one line per payment (the exemplars with -stream)
 package main
 
@@ -45,6 +49,7 @@ import (
 
 	xchainpay "repro"
 	"repro/internal/adversary"
+	"repro/internal/sig"
 	"repro/internal/sim"
 )
 
@@ -79,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stream      = fs.Bool("stream", false, "bounded-memory streaming pipeline (aggregates only)")
 		exemplars   = fs.Int("exemplars", 10, "payments kept as a reservoir sample with -stream")
 		sweepSeeds  = fs.Int("sweep-seeds", 0, "additionally sweep this many seeds in parallel")
+		crypto      = fs.String("crypto", "", "signature backend: ed25519 (default), hmac")
+		cryptoStats = fs.Bool("crypto-stats", false, "print key-cache and verification-memo counters after the run")
+		maxMiss     = fs.Float64("max-verify-miss", 0, "fail if the verification-memo miss rate exceeds this fraction (0 = no gate)")
 		verbose     = fs.Bool("v", false, "print one line per payment (the exemplars with -stream)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -134,7 +142,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cfg := xchainpay.TrafficConfig{Workers: *workers, Stream: *stream, Exemplars: *exemplars}
+	cfg := xchainpay.TrafficConfig{Workers: *workers, Stream: *stream, Exemplars: *exemplars, Crypto: *crypto}
+	// cryptoGate prints the process-wide cache counters and applies the
+	// verification-memo miss-rate gate; it covers single runs and sweeps
+	// alike (the counters aggregate every run of the process).
+	cryptoGate := func() int {
+		if !*cryptoStats && *maxMiss <= 0 {
+			return 0
+		}
+		st := sig.GlobalStats()
+		fmt.Fprintf(stdout, "crypto: keygen hits %d misses %d, verify-memo hits %d misses %d (miss rate %.3f)\n",
+			st.KeygenHits, st.KeygenMisses, st.MemoHits, st.MemoMisses, st.VerifyMissRate())
+		if *maxMiss > 0 && st.VerifyMissRate() > *maxMiss {
+			fmt.Fprintf(stderr, "xchain-traffic: verification-memo miss rate %.3f exceeds gate %.3f\n", st.VerifyMissRate(), *maxMiss)
+			return 1
+		}
+		return 0
+	}
 	if *sweepSeeds > 1 {
 		seeds := make([]int64, *sweepSeeds)
 		for i := range seeds {
@@ -151,7 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
-		return 0
+		return cryptoGate()
 	}
 
 	res, err := xchainpay.RunTrafficWith(s, w, cfg)
@@ -167,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "xchain-traffic: liquidity ledgers inconsistent after the run\n")
 		return 1
 	}
-	return 0
+	return cryptoGate()
 }
 
 func durToSim(d time.Duration) sim.Time { return sim.Time(d / time.Microsecond) }

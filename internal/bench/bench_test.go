@@ -44,8 +44,8 @@ func TestConfigs(t *testing.T) {
 
 func TestByIDAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("expected 12 experiments (E1-E9, A1-A3), got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("expected 13 experiments (E1-E10, A1-A3), got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -235,6 +235,29 @@ func TestRunE9Traffic(t *testing.T) {
 		if rejected <= 0 {
 			t.Errorf("E9 burst/starved n=%s: no rejections under starved liquidity", r[1])
 		}
+	}
+}
+
+func TestRunE10CryptoBackends(t *testing.T) {
+	tab := RunE10(Config{Runs: 1, MaxChain: 2})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E10 produced %d rows, want one per backend", len(tab.Rows))
+	}
+	found := map[string]bool{}
+	for _, r := range tab.Rows {
+		found[r[0]] = true
+	}
+	if !found["ed25519"] || !found["hmac"] {
+		t.Fatalf("E10 rows missing a backend: %v", tab.Rows)
+	}
+	ok := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "identical across backends: yes") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("E10 backends disagreed on traffic aggregates:\n%s", tab.String())
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/ledger"
 	"repro/internal/netsim"
+	"repro/internal/sig"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -282,6 +283,17 @@ type Scenario struct {
 	InitialBalance int64
 	// Seed drives all randomness (delays within bounds, clock drift draws).
 	Seed int64
+	// Crypto names the signature backend realising the model's assumed
+	// authentication primitive ("" = ed25519; see sig.BackendNames). The
+	// backend is a model-level assumption, never a protocol input, so no
+	// verdict, settlement trace or audit may depend on it — the
+	// backend-differential oracle in internal/scenariogen enforces this.
+	Crypto string
+	// KeySeed overrides the seed deriving participant keys ("" derives
+	// "seed-<Seed>"). Traffic runs point every payment's sub-scenario at one
+	// shared KeySeed so the process-wide key cache turns per-payment keygen
+	// into map lookups.
+	KeySeed string
 	// MuteTrace disables trace recording for large benchmark sweeps.
 	MuteTrace bool
 	// MaxEvents caps simulation events as a runaway guard; 0 means the
@@ -309,7 +321,23 @@ func (s Scenario) Validate() error {
 	if s.InitialBalance < s.Spec.AlicePays() {
 		return fmt.Errorf("core: initial balance %d cannot fund Alice's payment %d", s.InitialBalance, s.Spec.AlicePays())
 	}
+	if _, ok := sig.BackendByName(s.Crypto); !ok {
+		return fmt.Errorf("core: unknown crypto backend %q (have %v)", s.Crypto, sig.BackendNames())
+	}
 	return nil
+}
+
+// SigOptions returns the sig.Options realising the scenario's crypto
+// selection; protocol packages pass it to sig.NewKeyringWith.
+func (s Scenario) SigOptions() sig.Options { return sig.Options{Backend: s.Crypto} }
+
+// DerivedKeySeed returns the seed participant keys derive from: KeySeed when
+// set, else "seed-<Seed>" (the historical per-run derivation).
+func (s Scenario) DerivedKeySeed() string {
+	if s.KeySeed != "" {
+		return s.KeySeed
+	}
+	return fmt.Sprintf("seed-%d", s.Seed)
 }
 
 // CustomerOutcome captures what happened to one customer by the end of a

@@ -88,3 +88,11 @@ func (s Scenario) Muted() Scenario {
 	s.MuteTrace = true
 	return s
 }
+
+// WithCrypto returns a copy of the scenario using the named signature
+// backend ("" = ed25519). Backends realise the model's assumed
+// authentication primitive, so verdicts never depend on the choice.
+func (s Scenario) WithCrypto(backend string) Scenario {
+	s.Crypto = backend
+	return s
+}

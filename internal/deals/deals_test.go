@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/sig"
 	"repro/internal/sim"
 )
 
@@ -294,5 +295,52 @@ func TestDealRunDeterminism(t *testing.T) {
 	}
 	if a.Duration != b.Duration || a.Stats.Sent != b.Stats.Sent {
 		t.Fatal("identical configurations produced different runs")
+	}
+}
+
+// A certified decision is only acted upon when the message's Commit bit
+// matches the signed subject: replaying a genuine abort certificate with
+// the bit flipped (or an unsigned decision) must settle nothing.
+func TestCertifiedDecisionBindsCommitBit(t *testing.T) {
+	r, err := newDealRun(dealConfig(swapDeal(), 1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := r.chains["coin"]
+	abortCert := sig.NewReceipt(r.kr, r.dealID(), certifierID, "abort", 0)
+	chain.onCertified(msgCertified{Commit: true, Cert: abortCert})
+	if len(chain.settled) != 0 {
+		t.Fatal("flipped-bit replay of an abort certificate settled arcs")
+	}
+	chain.onCertified(msgCertified{Commit: true})
+	if len(chain.settled) != 0 {
+		t.Fatal("unsigned decision settled arcs")
+	}
+	commitCert := sig.NewReceipt(r.kr, r.dealID(), certifierID, "commit", 0)
+	tampered := commitCert
+	tampered.Subject = "abort"
+	chain.onCertified(msgCertified{Commit: false, Cert: tampered})
+	if len(chain.settled) != 0 {
+		t.Fatal("tampered certificate settled arcs")
+	}
+}
+
+// Both crypto backends drive the certified protocol to the same outcome.
+func TestCertifiedCommitCryptoBackends(t *testing.T) {
+	for _, backend := range []string{"", "ed25519", "hmac"} {
+		cfg := dealConfig(swapDeal(), 1)
+		cfg.Crypto = backend
+		res, err := CertifiedCommit{}.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Outcome.AllTransferred() {
+			t.Fatalf("crypto=%q: compliant swap did not complete", backend)
+		}
+	}
+	cfg := dealConfig(swapDeal(), 1)
+	cfg.Crypto = "rot13"
+	if _, err := (CertifiedCommit{}).Run(cfg); err == nil {
+		t.Fatal("unknown crypto backend accepted")
 	}
 }

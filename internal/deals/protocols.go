@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ledger"
 	"repro/internal/netsim"
+	"repro/internal/sig"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -25,6 +26,10 @@ type Config struct {
 	// forever.
 	PartyPatience sim.Time
 	MuteTrace     bool
+	// Crypto names the signature backend the certified blockchain signs its
+	// decision certificates with ("" = ed25519; see sig.BackendNames). The
+	// certifier is trust-assumed, so the choice never changes an outcome.
+	Crypto string
 }
 
 // Result is the outcome of one deal-protocol run.
@@ -110,8 +115,16 @@ func (a *assetChain) onCommitVote(from string, m msgCommitVote) {
 }
 
 // onCertified settles every arc according to the certified blockchain's
-// decision (certified-blockchain protocol).
+// decision (certified-blockchain protocol). The decision certificate must
+// carry the certifier's signature over the decision acted upon: a message
+// whose Commit bit disagrees with the signed subject (a replayed
+// certificate with the bit flipped) is ignored, as is any unsigned or
+// tampered decision.
 func (a *assetChain) onCertified(m msgCertified) {
+	want := decisionLabel(m.Commit)
+	if a.run.kr == nil || m.Cert.Subject != want || !m.Cert.Verify(a.run.kr) {
+		return
+	}
 	for _, arc := range a.run.cfg.Deal.Arcs() {
 		if arc.Asset.Type != a.asset {
 			continue
@@ -251,22 +264,28 @@ func (c *certifierProc) Deliver(from string, msg netsim.Message) {
 	}
 }
 
+// decisionLabel renders the decision subject the certifier signs.
+func decisionLabel(commit bool) string {
+	if commit {
+		return "commit"
+	}
+	return "abort"
+}
+
 func (c *certifierProc) decide(commit bool) {
 	if c.decided {
 		return
 	}
 	c.decided = true
 	c.commit = commit
-	label := "abort"
-	if commit {
-		label = "commit"
-	}
+	label := decisionLabel(commit)
 	c.run.tr.Add(c.run.eng.Now(), trace.KindDecision, certifierID, "", label)
+	cert := sig.NewReceipt(c.run.kr, c.run.dealID(), certifierID, label, c.run.eng.Now())
 	for _, t := range c.run.cfg.Deal.AssetTypes() {
-		c.run.net.Send(certifierID, "chain-"+t, msgCertified{Commit: commit})
+		c.run.net.Send(certifierID, "chain-"+t, msgCertified{Commit: commit, Cert: cert})
 	}
 	for _, p := range c.run.cfg.Deal.Parties {
-		c.run.net.Send(certifierID, p, msgCertified{Commit: commit})
+		c.run.net.Send(certifierID, p, msgCertified{Commit: commit, Cert: cert})
 	}
 }
 
@@ -292,7 +311,11 @@ type msgAbortAsk struct{ Party string }
 
 func (m msgAbortAsk) Describe() string { return "abort-ask " + m.Party }
 
-type msgCertified struct{ Commit bool }
+type msgCertified struct {
+	Commit bool
+	// Cert is the certifier's signed decision certificate.
+	Cert sig.Receipt
+}
 
 func (m msgCertified) Describe() string {
 	if m.Commit {
@@ -321,7 +344,13 @@ type dealRun struct {
 	chains    map[string]*assetChain
 	parties   map[string]*partyProc
 	certifier *certifierProc
+	// kr holds the certifier's key in the certified-blockchain protocol
+	// (nil in the timelock protocol, which needs no signatures).
+	kr *sig.Keyring
 }
+
+// dealID labels the run's artefacts (certificates, lock IDs are per-arc).
+func (r *dealRun) dealID() string { return fmt.Sprintf("deal-%d", r.cfg.Seed) }
 
 func (r *dealRun) procDelay() sim.Time {
 	maxP := r.cfg.Timing.MaxProcessing
@@ -335,6 +364,9 @@ func (r *dealRun) procDelay() sim.Time {
 func newDealRun(cfg Config, timelock bool) (*dealRun, error) {
 	if cfg.Deal == nil || len(cfg.Deal.Parties) == 0 {
 		return nil, fmt.Errorf("deals: empty deal")
+	}
+	if _, ok := sig.BackendByName(cfg.Crypto); !ok {
+		return nil, fmt.Errorf("deals: unknown crypto backend %q (have %v)", cfg.Crypto, sig.BackendNames())
 	}
 	if cfg.Network == nil {
 		cfg.Network = netsim.Synchronous{Min: 1 * sim.Millisecond, Max: cfg.Timing.MaxMsgDelay}
@@ -390,6 +422,7 @@ func newDealRun(cfg Config, timelock bool) (*dealRun, error) {
 		net.Register(p)
 	}
 	if !timelock {
+		r.kr = sig.NewKeyringWith(sig.Options{Backend: cfg.Crypto}, r.dealID(), []string{certifierID})
 		r.certifier = &certifierProc{run: r}
 		net.Register(r.certifier)
 	}

@@ -24,6 +24,10 @@ type Options struct {
 	// MaxFailures stops collecting violation outcomes beyond this many
 	// (0 = 16); counting continues.
 	MaxFailures int
+	// Crypto names the signature backend every generated scenario runs with
+	// ("" = ed25519). Oracles are backend-independent, so a campaign under
+	// "hmac" judges identical verdicts at a fraction of the CPU cost.
+	Crypto string
 }
 
 func (o Options) workers() int {
@@ -106,6 +110,7 @@ func Fuzz(opts Options) *Stats {
 			defer wg.Done()
 			for i := range next {
 				sp := Generate(opts.StartSeed + int64(i))
+				sp.Crypto = opts.Crypto
 				if len(allowed) > 0 && !allowed[sp.Family] {
 					continue
 				}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/htlc"
 	"repro/internal/netsim"
+	"repro/internal/sig"
 	"repro/internal/sim"
 	"repro/internal/timelock"
 	"repro/internal/weaklive"
@@ -144,6 +145,11 @@ type Spec struct {
 	// PatienceFloor is the Definition-2 precondition passed to check.Def2 and
 	// the PartyPatience of certified deal runs.
 	PatienceFloor sim.Time `json:"patienceFloor,omitempty"`
+	// Crypto names the signature backend the run authenticates with ("" =
+	// ed25519). Authentication is a model assumption, so the oracle's
+	// verdicts are provably independent of it — the backend-differential
+	// regression asserts exactly that.
+	Crypto string `json:"crypto,omitempty"`
 }
 
 // Validate checks that the spec is structurally sound and all names resolve.
@@ -180,6 +186,9 @@ func (sp Spec) Validate() error {
 		if _, ok := adversary.ParseBehaviour(name); !ok {
 			return fmt.Errorf("scenariogen: unknown behaviour %q for %s", name, id)
 		}
+	}
+	if _, ok := sig.BackendByName(sp.Crypto); !ok {
+		return fmt.Errorf("scenariogen: unknown crypto backend %q (have %v)", sp.Crypto, sig.BackendNames())
 	}
 	return nil
 }
@@ -261,7 +270,8 @@ func (sp Spec) Scenario() (core.Scenario, error) {
 	}
 	s := core.NewScenario(sp.N, sp.Seed).
 		WithPayment(sp.Base, sp.Commission).
-		WithTiming(sp.Timing.Timing())
+		WithTiming(sp.Timing.Timing()).
+		WithCrypto(sp.Crypto)
 	s = s.WithNetwork(sp.network())
 	for _, id := range sortedKeys(sp.Faults) {
 		b, _ := adversary.ParseBehaviour(sp.Faults[id])
@@ -343,6 +353,7 @@ func (sp Spec) DealConfig() (deals.Config, error) {
 		Timing:  sp.Timing.Timing(),
 		Network: sp.network(),
 		Seed:    sp.Seed,
+		Crypto:  sp.Crypto,
 	}
 	nc := map[string]bool{}
 	for id := range sp.Faults {

@@ -1,0 +1,262 @@
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The paper assumes the classic Byzantine model *with authentication*:
+// signatures are a model primitive, not a contribution. Which concrete
+// scheme realises the primitive therefore cannot change any theorem-shaped
+// verdict — it only changes how many CPU cycles each run spends on the
+// model's assumption. This file makes the scheme pluggable: the default
+// ed25519 backend keeps real asymmetric signatures (and byte-identical
+// outputs to earlier versions), while the hmac backend authenticates with
+// SHA-256 MACs under per-participant derived keys — unforgeable within the
+// simulation because all signing flows through the Keyring API (a simulated
+// Byzantine participant can only replay or corrupt artefacts, never reach
+// another participant's key material), and orders of magnitude cheaper.
+
+// Key is one participant's key material under one backend. For asymmetric
+// backends priv and pub differ; for MAC backends they are the same secret.
+type Key struct {
+	priv []byte
+	pub  []byte
+}
+
+// Backend abstracts the signature scheme behind the Keyring: deterministic
+// key derivation from (seed, id), detached signing and verification.
+// Implementations must be stateless and safe for concurrent use.
+type Backend interface {
+	// Name identifies the backend in options, CLIs and cache keys.
+	Name() string
+	// GenerateKey derives the deterministic key material for (seed, id).
+	GenerateKey(seed, id string) Key
+	// Sign produces a detached signature over payload.
+	Sign(k Key, payload []byte) Signature
+	// Verify checks sig over payload against the public half of k.
+	Verify(k Key, payload []byte, sig Signature) bool
+}
+
+// Backend names.
+const (
+	// BackendEd25519 is the default: real asymmetric ed25519 signatures.
+	BackendEd25519 = "ed25519"
+	// BackendHMAC authenticates with SHA-256 MACs under derived keys —
+	// model-equivalent within the simulation and ~100x cheaper per op.
+	BackendHMAC = "hmac"
+)
+
+// ed25519Backend is the original scheme, unchanged: deterministic key
+// generation from a hash-chain reader, standard sign/verify.
+type ed25519Backend struct{}
+
+func (ed25519Backend) Name() string { return BackendEd25519 }
+
+func (ed25519Backend) GenerateKey(seed, id string) Key {
+	pub, priv, err := ed25519.GenerateKey(newDeterministicReader(seed + "/" + id))
+	if err != nil {
+		// ed25519.GenerateKey only fails if the reader fails, and ours cannot.
+		panic("sig: key generation failed: " + err.Error())
+	}
+	return Key{priv: priv, pub: pub}
+}
+
+func (ed25519Backend) Sign(k Key, payload []byte) Signature {
+	return Signature(ed25519.Sign(ed25519.PrivateKey(k.priv), payload))
+}
+
+func (ed25519Backend) Verify(k Key, payload []byte, sig Signature) bool {
+	return ed25519.Verify(ed25519.PublicKey(k.pub), payload, sig)
+}
+
+// hmacBackend authenticates with HMAC-SHA256 under a per-participant key
+// derived from (seed, id). Within the simulation this is as unforgeable as
+// ed25519: the only way to produce a MAC is Keyring.Sign, and a keyring only
+// signs on behalf of the id the protocol code asks for.
+type hmacBackend struct{}
+
+func (hmacBackend) Name() string { return BackendHMAC }
+
+func (hmacBackend) GenerateKey(seed, id string) Key {
+	mac := sha256.Sum256([]byte("xchainpay-mac:" + seed + "/" + id))
+	k := append([]byte(nil), mac[:]...)
+	return Key{priv: k, pub: k}
+}
+
+func (hmacBackend) Sign(k Key, payload []byte) Signature {
+	h := hmac.New(sha256.New, k.priv)
+	h.Write(payload)
+	return Signature(h.Sum(nil))
+}
+
+func (hmacBackend) Verify(k Key, payload []byte, sig Signature) bool {
+	h := hmac.New(sha256.New, k.pub)
+	h.Write(payload)
+	return hmac.Equal(h.Sum(nil), sig)
+}
+
+// backends is the registry of available backends.
+var backends = map[string]Backend{
+	BackendEd25519: ed25519Backend{},
+	BackendHMAC:    hmacBackend{},
+}
+
+// BackendByName resolves a backend; the empty name is the ed25519 default.
+func BackendByName(name string) (Backend, bool) {
+	if name == "" {
+		name = BackendEd25519
+	}
+	b, ok := backends[name]
+	return b, ok
+}
+
+// BackendNames lists the registered backend names in sorted order.
+func BackendNames() []string {
+	out := make([]string, 0, len(backends))
+	for name := range backends {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options selects and tunes the authentication layer of one keyring.
+type Options struct {
+	// Backend names the signature backend; "" means ed25519.
+	Backend string
+	// DisableKeyCache bypasses the process-wide key cache (tests).
+	DisableKeyCache bool
+	// MemoCapacity bounds the verification memo: 0 uses the default
+	// (memoDefaultCap entries), negative disables memoization.
+	MemoCapacity int
+}
+
+// backend resolves the options' backend, panicking on unknown names (callers
+// validate names at the configuration boundary — core.Scenario.Validate,
+// traffic.Config, the CLIs — so reaching here with a bad name is a bug).
+func (o Options) backend() Backend {
+	b, ok := BackendByName(o.Backend)
+	if !ok {
+		panic("sig: unknown backend " + o.Backend)
+	}
+	return b
+}
+
+// Process-wide key cache. Key derivation is a pure function of
+// (backend, seed, id), so every keyring in the process can share one cache:
+// traffic runs that build a fresh keyring per payment stop paying
+// ed25519.GenerateKey per participant per payment and pay one map lookup
+// instead. Bounded: reaching keyCacheLimit entries clears the map (cheap,
+// and correctness never depends on residency).
+type keyCacheKey struct {
+	backend string
+	seed    string
+	id      string
+}
+
+const keyCacheLimit = 1 << 16
+
+var keyCache = struct {
+	sync.RWMutex
+	m map[keyCacheKey]Key
+}{m: make(map[keyCacheKey]Key)}
+
+// Process-wide cache counters (atomic: keyrings run on many goroutines).
+var (
+	globalKeygenHits    atomic.Uint64
+	globalKeygenMisses  atomic.Uint64
+	globalMemoHits      atomic.Uint64
+	globalMemoMisses    atomic.Uint64
+	globalMemoEvictions atomic.Uint64
+)
+
+// cachedKey returns the key for (backend, seed, id), consulting and filling
+// the process-wide cache. Concurrent misses may both derive the key; the
+// derivation is deterministic, so whichever insert wins stores the same
+// bytes.
+func cachedKey(b Backend, seed, id string) (Key, bool) {
+	ck := keyCacheKey{backend: b.Name(), seed: seed, id: id}
+	keyCache.RLock()
+	k, ok := keyCache.m[ck]
+	keyCache.RUnlock()
+	if ok {
+		globalKeygenHits.Add(1)
+		return k, true
+	}
+	globalKeygenMisses.Add(1)
+	k = b.GenerateKey(seed, id)
+	keyCache.Lock()
+	if len(keyCache.m) >= keyCacheLimit {
+		keyCache.m = make(map[keyCacheKey]Key)
+	}
+	keyCache.m[ck] = k
+	keyCache.Unlock()
+	return k, false
+}
+
+// KeyCacheLen reports the number of resident cached keys (tests, metrics).
+func KeyCacheLen() int {
+	keyCache.RLock()
+	defer keyCache.RUnlock()
+	return len(keyCache.m)
+}
+
+// ResetKeyCache empties the process-wide key cache (tests).
+func ResetKeyCache() {
+	keyCache.Lock()
+	keyCache.m = make(map[keyCacheKey]Key)
+	keyCache.Unlock()
+}
+
+// Stats counts cache traffic. Keyring.Stats reports one keyring's view;
+// GlobalStats aggregates every keyring in the process (the number a traffic
+// run's CI gate watches, since traffic builds one keyring per payment).
+type Stats struct {
+	// KeygenHits/KeygenMisses count key derivations served from / missing
+	// the process-wide key cache.
+	KeygenHits   uint64
+	KeygenMisses uint64
+	// MemoHits/MemoMisses count signature verifications served from / missing
+	// the keyring's verification memo. A miss pays one backend Verify.
+	MemoHits   uint64
+	MemoMisses uint64
+	// MemoEvictions counts bulk memo resets on capacity overflow.
+	MemoEvictions uint64
+}
+
+// VerifyMissRate returns the fraction of verifications that paid a backend
+// operation. A run that never verified anything reports 0: "nothing to
+// cache" is not a cache regression (the CLI gate would otherwise fail
+// spuriously on signature-free workloads such as pure HTLC mixes).
+func (s Stats) VerifyMissRate() float64 {
+	total := s.MemoHits + s.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemoMisses) / float64(total)
+}
+
+// GlobalStats aggregates cache counters across every keyring in the process.
+func GlobalStats() Stats {
+	return Stats{
+		KeygenHits:    globalKeygenHits.Load(),
+		KeygenMisses:  globalKeygenMisses.Load(),
+		MemoHits:      globalMemoHits.Load(),
+		MemoMisses:    globalMemoMisses.Load(),
+		MemoEvictions: globalMemoEvictions.Load(),
+	}
+}
+
+// ResetGlobalStats zeroes the process-wide counters (benchmarks, CI gates).
+func ResetGlobalStats() {
+	globalKeygenHits.Store(0)
+	globalKeygenMisses.Store(0)
+	globalMemoHits.Store(0)
+	globalMemoMisses.Store(0)
+	globalMemoEvictions.Store(0)
+}

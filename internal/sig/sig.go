@@ -1,16 +1,24 @@
 // Package sig provides the authentication layer of the classic Byzantine
 // model with authentication assumed by the paper.
 //
-// It offers deterministic ed25519 keyrings (one key per participant), typed
-// signed artefacts — the payment certificate chi signed by Bob, the escrow
-// promises G(d) and P(a), and the commit/abort certificates issued by the
-// transaction manager of the weak-liveness protocol — and verification
-// helpers. Byzantine participants may refuse to sign or replay artefacts,
-// but cannot forge signatures of correct participants.
+// It offers deterministic keyrings (one key per participant) over pluggable
+// signature backends (see backend.go: real ed25519 by default, or derived-key
+// HMAC-SHA256 for runs where crypto must stay off the hot path), typed signed
+// artefacts — the payment certificate chi signed by Bob, the escrow promises
+// G(d) and P(a), and the commit/abort certificates issued by the transaction
+// manager of the weak-liveness protocol — and verification helpers. Byzantine
+// participants may refuse to sign or replay artefacts, but cannot forge
+// signatures of correct participants.
+//
+// Two caches keep the model's assumed crypto cheap at traffic scale: a
+// process-wide key cache (key derivation is a pure function of
+// (backend, seed, id), so per-payment keyrings stop paying keygen per
+// participant) and a per-keyring verification memo (the same chi, guarantee
+// or promise re-verified at every hop costs one backend operation per
+// artefact, not one per hop).
 package sig
 
 import (
-	"crypto/ed25519"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -57,18 +65,60 @@ func (r *deterministicReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Keyring maps participant IDs to ed25519 key pairs.
-type Keyring struct {
-	priv map[string]ed25519.PrivateKey
-	pub  map[string]ed25519.PublicKey
+// memoDefaultCap bounds the verification memo of one keyring. Single-payment
+// runs verify a handful of artefacts; the bound only matters for long-lived
+// keyrings, where overflowing resets the memo wholesale (correctness never
+// depends on residency).
+const memoDefaultCap = 4096
+
+// memoKey identifies one (signer, payload, signature) verification. Payload
+// and signature enter by SHA-256 so a memo entry cannot be satisfied by a
+// colliding artefact.
+type memoKey struct {
+	signer  string
+	payload [sha256.Size]byte
+	sig     [sha256.Size]byte
 }
 
-// NewKeyring creates deterministic keys for the given participants. The
-// participant order does not matter: keys depend only on (seed, id).
+// Keyring maps participant IDs to key pairs under one signature backend.
+//
+// A keyring is confined to its protocol run's goroutine (like the run's
+// sim.Engine): Sign, Verify and Add mutate the memo and key maps without
+// locking. The process-wide key cache behind Add is concurrency-safe, so any
+// number of runs may build keyrings for the same (seed, id) concurrently.
+type Keyring struct {
+	backend  Backend
+	useCache bool
+	keys     map[string]Key
+	// parts caches the sorted participant list; nil means dirty
+	// (recomputed on demand, invalidated by Add).
+	parts []string
+	// memo caches verification outcomes; nil means memoization is disabled.
+	memo    map[memoKey]bool
+	memoCap int
+	stats   Stats
+}
+
+// NewKeyring creates deterministic ed25519 keys for the given participants
+// with default options (process-wide key cache and verification memo on).
+// The participant order does not matter: keys depend only on (seed, id).
 func NewKeyring(seed string, participants []string) *Keyring {
+	return NewKeyringWith(Options{}, seed, participants)
+}
+
+// NewKeyringWith creates a keyring under the options' backend.
+func NewKeyringWith(opts Options, seed string, participants []string) *Keyring {
 	kr := &Keyring{
-		priv: make(map[string]ed25519.PrivateKey, len(participants)),
-		pub:  make(map[string]ed25519.PublicKey, len(participants)),
+		backend:  opts.backend(),
+		useCache: !opts.DisableKeyCache,
+		keys:     make(map[string]Key, len(participants)),
+		memoCap:  opts.MemoCapacity,
+	}
+	if kr.memoCap == 0 {
+		kr.memoCap = memoDefaultCap
+	}
+	if kr.memoCap > 0 {
+		kr.memo = make(map[memoKey]bool)
 	}
 	ids := append([]string(nil), participants...)
 	sort.Strings(ids)
@@ -78,58 +128,125 @@ func NewKeyring(seed string, participants []string) *Keyring {
 	return kr
 }
 
-// Add creates (or replaces) the key pair for one participant.
+// Backend returns the name of the keyring's signature backend.
+func (kr *Keyring) Backend() string { return kr.backend.Name() }
+
+// Add creates (or replaces) the key pair for one participant. Replacing an
+// existing key resets the verification memo: outcomes memoized under the
+// old key must not answer for the new one.
 func (kr *Keyring) Add(seed, id string) {
-	pub, priv, err := ed25519.GenerateKey(newDeterministicReader(seed + "/" + id))
-	if err != nil {
-		// ed25519.GenerateKey only fails if the reader fails, and ours cannot.
-		panic("sig: key generation failed: " + err.Error())
+	if _, replaced := kr.keys[id]; replaced && len(kr.memo) > 0 {
+		kr.memo = make(map[memoKey]bool)
+		kr.stats.MemoEvictions++
+		globalMemoEvictions.Add(1)
 	}
-	kr.priv[id] = priv
-	kr.pub[id] = pub
+	if kr.useCache {
+		k, hit := cachedKey(kr.backend, seed, id)
+		if hit {
+			kr.stats.KeygenHits++
+		} else {
+			kr.stats.KeygenMisses++
+		}
+		kr.keys[id] = k
+	} else {
+		kr.stats.KeygenMisses++
+		kr.keys[id] = kr.backend.GenerateKey(seed, id)
+	}
+	kr.parts = nil
 }
 
 // Has reports whether the keyring holds a key for id.
-func (kr *Keyring) Has(id string) bool { _, ok := kr.priv[id]; return ok }
+func (kr *Keyring) Has(id string) bool { _, ok := kr.keys[id]; return ok }
 
-// Participants returns the sorted IDs with keys.
+// Participants returns the sorted IDs with keys. The sorted slice is cached
+// and invalidated by Add; callers must not modify it.
 func (kr *Keyring) Participants() []string {
-	out := make([]string, 0, len(kr.priv))
-	for id := range kr.priv {
-		out = append(out, id)
+	if kr.parts == nil {
+		kr.parts = make([]string, 0, len(kr.keys))
+		for id := range kr.keys {
+			kr.parts = append(kr.parts, id)
+		}
+		sort.Strings(kr.parts)
 	}
-	sort.Strings(out)
-	return out
+	return kr.parts
 }
 
 // Sign signs payload on behalf of id. Signing for an unknown participant
 // returns nil (which never verifies).
 func (kr *Keyring) Sign(id string, payload []byte) Signature {
-	priv, ok := kr.priv[id]
+	k, ok := kr.keys[id]
 	if !ok {
 		return nil
 	}
-	return Signature(ed25519.Sign(priv, payload))
+	return kr.backend.Sign(k, payload)
 }
 
-// Verify checks that signer produced sig over payload.
+// Verify checks that signer produced sig over payload. Outcomes are
+// memoized per (signer, payload-hash, sig-hash): re-verifying the same
+// artefact at every hop of a chain costs one backend operation total.
 func (kr *Keyring) Verify(signer string, payload []byte, sig Signature) bool {
-	pub, ok := kr.pub[signer]
+	k, ok := kr.keys[signer]
 	if !ok || len(sig) == 0 {
 		return false
 	}
-	return ed25519.Verify(pub, payload, sig)
+	if kr.memo == nil {
+		kr.stats.MemoMisses++
+		globalMemoMisses.Add(1)
+		return kr.backend.Verify(k, payload, sig)
+	}
+	mk := memoKey{signer: signer, payload: sha256.Sum256(payload), sig: sha256.Sum256(sig)}
+	if v, hit := kr.memo[mk]; hit {
+		kr.stats.MemoHits++
+		globalMemoHits.Add(1)
+		return v
+	}
+	kr.stats.MemoMisses++
+	globalMemoMisses.Add(1)
+	v := kr.backend.Verify(k, payload, sig)
+	if len(kr.memo) >= kr.memoCap {
+		kr.memo = make(map[memoKey]bool)
+		kr.stats.MemoEvictions++
+		globalMemoEvictions.Add(1)
+	}
+	kr.memo[mk] = v
+	return v
 }
 
+// Stats returns this keyring's cache counters (see Stats; GlobalStats
+// aggregates across keyrings).
+func (kr *Keyring) Stats() Stats { return kr.stats }
+
 // canonical builds a canonical byte encoding of a typed artefact. Fields are
-// length-prefixed so distinct field values can never collide.
+// length-prefixed so distinct field values can never collide. The output
+// buffer is sized exactly in a first pass (payload building runs per
+// artefact on the signing hot path), and only explicitly supported field
+// types encode: an unknown type panics rather than falling back to a
+// reflective formatting whose encoding could silently change.
 func canonical(kind string, fields ...any) []byte {
-	var out []byte
+	size := 8 + len(kind)
+	for _, f := range fields {
+		switch v := f.(type) {
+		case string:
+			size += 8 + len(v)
+		case []byte:
+			size += 8 + len(v)
+		case int64, sim.Time:
+			size += 8 + 8
+		default:
+			panic(fmt.Sprintf("sig: canonical: unsupported field type %T", f))
+		}
+	}
+	out := make([]byte, 0, size)
 	appendBytes := func(b []byte) {
 		var l [8]byte
 		binary.BigEndian.PutUint64(l[:], uint64(len(b)))
 		out = append(out, l[:]...)
 		out = append(out, b...)
+	}
+	appendUint64 := func(u uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], u)
+		appendBytes(b[:])
 	}
 	appendBytes([]byte(kind))
 	for _, f := range fields {
@@ -137,17 +254,11 @@ func canonical(kind string, fields ...any) []byte {
 		case string:
 			appendBytes([]byte(v))
 		case int64:
-			var b [8]byte
-			binary.BigEndian.PutUint64(b[:], uint64(v))
-			appendBytes(b[:])
+			appendUint64(uint64(v))
 		case sim.Time:
-			var b [8]byte
-			binary.BigEndian.PutUint64(b[:], uint64(v))
-			appendBytes(b[:])
+			appendUint64(uint64(v))
 		case []byte:
 			appendBytes(v)
-		default:
-			appendBytes([]byte(fmt.Sprintf("%v", v)))
 		}
 	}
 	return out

@@ -48,7 +48,7 @@ func setupEnv(s core.Scenario, params Params) (*env, error) {
 	net := netsim.New(eng, s.Network, tr)
 	topo := s.Topology
 
-	kr := sig.NewKeyring(fmt.Sprintf("seed-%d", s.Seed), topo.Participants())
+	kr := sig.NewKeyringWith(s.SigOptions(), s.DerivedKeySeed(), topo.Participants())
 
 	book := ledger.NewBook()
 	for i := 0; i < topo.N; i++ {

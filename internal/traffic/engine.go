@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/htlc"
 	"repro/internal/ledger"
+	"repro/internal/sig"
 	"repro/internal/sim"
 	"repro/internal/timelock"
 	"repro/internal/weaklive"
@@ -40,6 +41,12 @@ type Config struct {
 	// a deterministic reservoir sample of this many payments in
 	// Result.Exemplars so the CLI can still show concrete payments.
 	Exemplars int
+	// Crypto names the signature backend every payment's protocol run uses
+	// ("" keeps the scenario's selection; see sig.BackendNames). The backend
+	// realises the model's assumed authentication primitive, so it changes
+	// wall-clock cost only — success counts, rates, latencies and audits are
+	// identical across backends.
+	Crypto string
 }
 
 // workers resolves the worker count.
@@ -129,6 +136,12 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 	}
 	if s.Network == nil {
 		return nil, fmt.Errorf("traffic: scenario has no network model")
+	}
+	if cfg.Crypto != "" {
+		s.Crypto = cfg.Crypto
+	}
+	if _, ok := sig.BackendByName(s.Crypto); !ok {
+		return nil, fmt.Errorf("traffic: unknown crypto backend %q (have %v)", s.Crypto, sig.BackendNames())
 	}
 	if err := w.Validate(s.Topology); err != nil {
 		return nil, err

@@ -597,3 +597,58 @@ func TestStreamingSmoke(t *testing.T) {
 		t.Fatalf("%d locks left pending", res.PendingLocks)
 	}
 }
+
+// TestCryptoBackendEquivalence asserts the tentpole invariant at the traffic
+// level: the signature backend realises a model assumption, so two runs of
+// the same workload under ed25519 and hmac must produce byte-identical
+// Results — every aggregate, every per-payment record, every audit.
+func TestCryptoBackendEquivalence(t *testing.T) {
+	s := core.NewScenario(4, 7)
+	w := NewWorkload(300)
+	w.Arrival.Rate = 2000
+	w.RandomSubPaths = true
+	w = w.WithMix(mixed...).WithLiquidity(4000).WithQueue(2*sim.Second, 0)
+
+	ref, err := RunWith(s, w, Config{Crypto: "ed25519"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunWith(s, w, Config{Crypto: "hmac"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != ref.String() {
+		t.Fatalf("hmac run differs from ed25519:\n--- ed25519 ---\n%s--- hmac ---\n%s", ref, got)
+	}
+	if !reflect.DeepEqual(got.Payments, ref.Payments) {
+		t.Fatal("per-payment records differ across crypto backends")
+	}
+	if ref.AuditErr != nil || got.AuditErr != nil {
+		t.Fatalf("audit failed: %v / %v", ref.AuditErr, got.AuditErr)
+	}
+	// Streaming mode under hmac must also match the materialised ed25519 run.
+	stream, err := RunWith(s, w, Config{Crypto: "hmac", Stream: true, KeepPayments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.String() != ref.String() {
+		t.Fatal("streamed hmac run differs from materialised ed25519 run")
+	}
+}
+
+// TestCryptoBackendValidation: unknown backend names are rejected up front,
+// and Config.Crypto overrides the scenario's selection.
+func TestCryptoBackendValidation(t *testing.T) {
+	s := core.NewScenario(2, 1)
+	w := NewWorkload(5)
+	if _, err := RunWith(s, w, Config{Crypto: "rot13"}); err == nil {
+		t.Fatal("unknown Config.Crypto accepted")
+	}
+	s.Crypto = "rot13"
+	if _, err := RunWith(s, w, Config{}); err == nil {
+		t.Fatal("unknown Scenario.Crypto accepted")
+	}
+	if _, err := RunWith(s, w, Config{Crypto: "hmac"}); err != nil {
+		t.Fatalf("Config.Crypto should override the scenario's backend: %v", err)
+	}
+}

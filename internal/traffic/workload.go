@@ -442,8 +442,14 @@ func subScenario(base core.Scenario, p *payment) core.Scenario {
 		Network:        base.Network,
 		InitialBalance: balance,
 		Seed:           p.Seed,
-		MuteTrace:      true,
-		MaxEvents:      base.MaxEvents,
+		Crypto:         base.Crypto,
+		// Every payment shares the base scenario's key seed: keys are a pure
+		// function of (backend, seed, id), so the process-wide key cache in
+		// internal/sig serves the whole population after the first payment
+		// instead of regenerating keys per participant per payment.
+		KeySeed:   base.DerivedKeySeed(),
+		MuteTrace: true,
+		MaxEvents: base.MaxEvents,
 	}
 	for k := 0; k <= h; k++ {
 		id := core.CustomerID(p.Sender + k)

@@ -112,8 +112,8 @@ func (p *Protocol) Run(s core.Scenario) (*core.RunResult, error) {
 	net := netsim.New(eng, s.Network, tr)
 	topo := s.Topology
 
-	keySeed := fmt.Sprintf("seed-%d", s.Seed)
-	kr := sig.NewKeyring(keySeed, topo.Participants())
+	keySeed := s.DerivedKeySeed()
+	kr := sig.NewKeyringWith(s.SigOptions(), keySeed, topo.Participants())
 
 	book := ledger.NewBook()
 	for i := 0; i < topo.N; i++ {

@@ -50,6 +50,7 @@ import (
 	"repro/internal/htlc"
 	"repro/internal/netsim"
 	"repro/internal/scenariogen"
+	"repro/internal/sig"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timelock"
@@ -148,6 +149,26 @@ const (
 	Second      = sim.Second
 	Minute      = sim.Minute
 )
+
+// Signature backend names, re-exported for Scenario.Crypto /
+// TrafficConfig.Crypto. Authentication is a model assumption of the paper,
+// so the backend never changes a verdict — only how much CPU each run spends
+// on it (ed25519 = real asymmetric signatures, hmac = derived-key SHA-256
+// MACs, ~100x cheaper; see internal/sig).
+const (
+	CryptoEd25519 = sig.BackendEd25519
+	CryptoHMAC    = sig.BackendHMAC
+)
+
+// SigStats carries the authentication-layer cache counters (process-wide
+// key cache and per-keyring verification memo).
+type SigStats = sig.Stats
+
+// CryptoBackends lists the available signature backend names.
+func CryptoBackends() []string { return sig.BackendNames() }
+
+// CryptoStats returns the process-wide authentication cache counters.
+func CryptoStats() SigStats { return sig.GlobalStats() }
 
 // NewScenario returns a ready-to-run scenario for a chain with n escrows
 // (n+1 customers), a synchronous network at the default timing, a
