@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -329,6 +330,64 @@ func BenchmarkKernelCancel(b *testing.B) {
 		tm := eng.ScheduleAt(eng.Now()+1000, "timeout", fn)
 		eng.ScheduleAt(eng.Now()+1, "work", fn)
 		tm.Cancel()
+		eng.Run(0)
+	}
+}
+
+// Metrics micro-benchmarks: the per-event cost of live instrumentation and
+// the proof that muted (nil-handle) instrumentation costs nothing. These
+// bound the overhead every instrumented hot path above pays per counter
+// bump or latency observation.
+
+// BenchmarkMetricsCounter measures one live counter increment (a single
+// atomic add behind a nil check).
+func BenchmarkMetricsCounter(b *testing.B) {
+	c := metrics.NewRegistry().Counter("bench_events_total", "bench counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkMetricsCounterMuted measures the muted path: a nil *Counter
+// increment, the cost an uninstrumented run pays at every metric site.
+func BenchmarkMetricsCounterMuted(b *testing.B) {
+	var c *metrics.Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkMetricsHistogram measures one live histogram observation:
+// log-bucket index computation plus two atomic adds.
+func BenchmarkMetricsHistogram(b *testing.B) {
+	h := metrics.NewRegistry().Histogram("bench_latency_ms", "bench histogram")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) + 0.5)
+	}
+}
+
+// BenchmarkMetricsHistogramMuted measures the muted histogram observation.
+func BenchmarkMetricsHistogramMuted(b *testing.B) {
+	var h *metrics.Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(3.5)
+	}
+}
+
+// BenchmarkKernelScheduleFireInstrumented is BenchmarkKernelScheduleFire
+// with a live metrics registry attached to the engine, for measuring the
+// instrumentation overhead on the kernel's hottest cycle.
+func BenchmarkKernelScheduleFireInstrumented(b *testing.B) {
+	eng := sim.NewEngine(1)
+	eng.SetMetrics(sim.MetricsFrom(metrics.NewRegistry()))
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.ScheduleAt(eng.Now()+1, "tick", fn)
 		eng.Run(0)
 	}
 }

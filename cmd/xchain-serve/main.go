@@ -1,0 +1,47 @@
+// Command xchain-serve turns the traffic engine into a long-lived HTTP
+// service: clients POST workload descriptions, runs execute asynchronously
+// with a live per-run metrics registry, and one Prometheus-style /metrics
+// endpoint exposes every run (labelled run="<id>") together with the
+// process-wide crypto cache counters.
+//
+// Usage:
+//
+//	xchain-serve [flags]
+//
+//	-addr :8080   listen address
+//	-pprof        also serve net/http/pprof under /debug/pprof/
+//
+// Endpoints:
+//
+//	POST /runs        start a traffic run (JSON body, see runRequest);
+//	                  responds 202 with the run's id and links
+//	GET  /runs        list runs, newest first
+//	GET  /runs/{id}   one run's live progress (counters while running,
+//	                  full summary once finished)
+//	GET  /metrics     Prometheus text exposition of every run + sig family
+//	GET  /healthz     liveness probe
+//
+// Instrumentation is observation-only (see internal/metrics): a run started
+// here computes byte-for-byte the same Result the CLI computes for the same
+// request, whether or not anyone scrapes it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
+	srv := newServer(*withPprof)
+	fmt.Fprintf(os.Stderr, "xchain-serve: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "xchain-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

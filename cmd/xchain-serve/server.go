@@ -1,0 +1,406 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sig"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// runRequest is the JSON body of POST /runs. Zero values take the same
+// defaults the xchain-traffic CLI uses, so `{}` is a valid request.
+type runRequest struct {
+	Escrows  int   `json:"escrows"`
+	Seed     int64 `json:"seed"`
+	Payments int   `json:"payments"`
+
+	Arrival    string  `json:"arrival"` // poisson (default), uniform, burst
+	Rate       float64 `json:"rate"`
+	BurstSize  int     `json:"burst_size"`
+	BurstGapMs float64 `json:"burst_gap_ms"`
+
+	Amount     int64  `json:"amount"`
+	AmountDist string `json:"amount_dist"` // fixed (default), uniform, exponential
+	Spread     int64  `json:"spread"`
+	Commission int64  `json:"commission"`
+
+	Mix      string `json:"mix"` // "timelock=1,htlc=1"
+	Subpaths bool   `json:"subpaths"`
+
+	Liquidity       int64   `json:"liquidity"`
+	QueuePatienceMs float64 `json:"queue_patience_ms"`
+	MaxQueue        int     `json:"max_queue"`
+
+	Faults string `json:"faults"` // "c1=silent,e0=drop-forward"
+
+	Stream  bool   `json:"stream"`
+	Workers int    `json:"workers"`
+	Crypto  string `json:"crypto"`
+}
+
+// normalize fills defaults in place.
+func (q *runRequest) normalize() {
+	if q.Escrows == 0 {
+		q.Escrows = 8
+	}
+	if q.Seed == 0 {
+		q.Seed = 42
+	}
+	if q.Payments == 0 {
+		q.Payments = 1000
+	}
+	if q.Rate == 0 {
+		q.Rate = 500
+	}
+	if q.Amount == 0 {
+		q.Amount = 100
+	}
+	if q.Commission == 0 {
+		q.Commission = 1
+	}
+	if q.Mix == "" {
+		q.Mix = "timelock=1"
+	}
+}
+
+// build translates the request into the engine's inputs.
+func (q runRequest) build() (core.Scenario, traffic.Workload, traffic.Config, error) {
+	s := core.NewScenario(q.Escrows, q.Seed)
+	if q.Faults != "" {
+		for _, pair := range strings.Split(q.Faults, ",") {
+			parts := strings.SplitN(pair, "=", 2)
+			if len(parts) != 2 {
+				return s, traffic.Workload{}, traffic.Config{}, fmt.Errorf("malformed faults entry %q (want participant=behaviour)", pair)
+			}
+			s = s.SetFault(parts[0], adversary.Spec(adversary.Behaviour(parts[1]), s.Timing))
+		}
+	}
+
+	w := traffic.NewWorkload(q.Payments)
+	if q.Arrival != "" {
+		w.Arrival.Kind = traffic.ArrivalKind(q.Arrival)
+	}
+	w.Arrival.Rate = q.Rate
+	if q.BurstSize > 0 {
+		w.Arrival.BurstSize = q.BurstSize
+	}
+	w.Arrival.BurstGap = sim.Time(q.BurstGapMs * float64(sim.Millisecond))
+	if q.AmountDist != "" {
+		w.Amounts.Kind = traffic.AmountKind(q.AmountDist)
+	}
+	w.Amounts.Base = q.Amount
+	w.Amounts.Spread = q.Spread
+	w.Commission = q.Commission
+	w.RandomSubPaths = q.Subpaths
+	w.Liquidity = q.Liquidity
+	w.QueuePatience = sim.Time(q.QueuePatienceMs * float64(sim.Millisecond))
+	w.MaxQueue = q.MaxQueue
+	w.Mix = nil
+	known := traffic.DefaultProtocols()
+	for _, pair := range strings.Split(q.Mix, ",") {
+		parts := strings.SplitN(pair, "=", 2)
+		weight := 1.0
+		if len(parts) == 2 {
+			var err error
+			weight, err = strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return s, w, traffic.Config{}, fmt.Errorf("malformed mix entry %q: %v", pair, err)
+			}
+		}
+		if _, ok := known[parts[0]]; !ok {
+			return s, w, traffic.Config{}, fmt.Errorf("unknown protocol %q in mix", parts[0])
+		}
+		w.Mix = append(w.Mix, traffic.ProtocolShare{Name: parts[0], Weight: weight})
+	}
+
+	cfg := traffic.Config{Workers: q.Workers, Stream: q.Stream, Crypto: q.Crypto}
+	return s, w, cfg, nil
+}
+
+// run is one traffic run owned by the server.
+type run struct {
+	ID      string
+	Req     runRequest
+	Reg     *metrics.Registry
+	Started time.Time
+
+	mu       sync.Mutex
+	status   string // "running", "done", "failed"
+	errMsg   string
+	summary  string
+	result   *runSummary
+	finished time.Time
+}
+
+// runSummary is the JSON rendering of a finished run's Result.
+type runSummary struct {
+	Total        int     `json:"total"`
+	Succeeded    int     `json:"succeeded"`
+	Failed       int     `json:"failed"`
+	Rejected     int     `json:"rejected"`
+	Dropped      int     `json:"dropped"`
+	Errored      int     `json:"errored"`
+	SuccessRate  float64 `json:"success_rate"`
+	Throughput   float64 `json:"throughput_per_s"`
+	MakespanMs   float64 `json:"makespan_ms"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	VolumeMoved  int64   `json:"volume_moved"`
+	PeakInFlight int     `json:"peak_in_flight"`
+	AuditOK      bool    `json:"audit_ok"`
+	PendingLocks int     `json:"pending_locks"`
+}
+
+// progress is the live part of a run's JSON view, read from its registry.
+type progress struct {
+	Generated  uint64  `json:"generated"`
+	Simulated  uint64  `json:"simulated"`
+	Settled    uint64  `json:"settled"`
+	Failed     uint64  `json:"failed"`
+	Rejected   uint64  `json:"rejected"`
+	Expired    uint64  `json:"expired"`
+	Errored    uint64  `json:"errored"`
+	QueueDepth float64 `json:"queue_depth"`
+	InFlight   float64 `json:"in_flight"`
+	P50Ms      float64 `json:"latency_p50_ms"`
+	P99Ms      float64 `json:"latency_p99_ms"`
+	VirtualMs  float64 `json:"virtual_time_ms"`
+}
+
+func (r *run) progress() progress {
+	reg := r.Reg
+	lat := reg.Histogram(traffic.MetricLatencyMs, "")
+	return progress{
+		Generated:  reg.Counter(traffic.MetricPaymentsGenerated, "").Value(),
+		Simulated:  reg.Counter(traffic.MetricPaymentsSimulated, "").Value(),
+		Settled:    reg.Counter(traffic.MetricPaymentsSettled, "").Value(),
+		Failed:     reg.Counter(traffic.MetricPaymentsFailed, "").Value(),
+		Rejected:   reg.Counter(traffic.MetricPaymentsRejected, "").Value(),
+		Expired:    reg.Counter(traffic.MetricPaymentsExpired, "").Value(),
+		Errored:    reg.Counter(traffic.MetricPaymentsErrored, "").Value(),
+		QueueDepth: reg.Gauge(traffic.MetricQueueDepth, "").Value(),
+		InFlight:   reg.Gauge(traffic.MetricInFlight, "").Value(),
+		P50Ms:      lat.Quantile(0.5),
+		P99Ms:      lat.Quantile(0.99),
+		VirtualMs:  reg.Gauge(sim.MetricVirtualTimeMs, "").Value(),
+	}
+}
+
+// server owns the run table and the base (process-wide) registry.
+type server struct {
+	mux  *http.ServeMux
+	base *metrics.Registry
+
+	mu    sync.Mutex
+	runs  map[string]*run
+	order []string // creation order
+	next  int
+}
+
+// newServer builds the HTTP surface. The base registry carries process-wide
+// families (the sig crypto caches and the server's own run counter); each
+// run gets its own registry labelled run="<id>" so scrapes tell runs apart.
+func newServer(withPprof bool) *server {
+	s := &server{
+		mux:  http.NewServeMux(),
+		base: metrics.NewRegistry(),
+		runs: map[string]*run{},
+	}
+	sig.RegisterMetrics(s.base)
+	s.base.GaugeFunc("xchain_serve_runs", "Traffic runs owned by this server.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.runs))
+	})
+
+	s.mux.HandleFunc("POST /runs", s.handleStartRun)
+	s.mux.HandleFunc("GET /runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if withPprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort once headers are out
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleStartRun validates the request, registers the run and launches it.
+func (s *server) handleStartRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req.normalize()
+	scn, wl, cfg, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Validate before accepting: a rejected workload should 400 now, not
+	// fail asynchronously.
+	if err := wl.Validate(scn.Topology); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.next++
+	id := fmt.Sprintf("run-%04d", s.next)
+	ru := &run{
+		ID:      id,
+		Req:     req,
+		Reg:     metrics.NewLabeledRegistry("run", id),
+		Started: time.Now(),
+		status:  "running",
+	}
+	s.runs[id] = ru
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	cfg.Metrics = ru.Reg
+	go func() {
+		res, err := traffic.RunWith(scn, wl, cfg)
+		ru.mu.Lock()
+		defer ru.mu.Unlock()
+		ru.finished = time.Now()
+		if err != nil {
+			ru.status = "failed"
+			ru.errMsg = err.Error()
+			return
+		}
+		ru.status = "done"
+		ru.summary = res.String()
+		ru.result = &runSummary{
+			Total:        res.Total,
+			Succeeded:    res.Succeeded,
+			Failed:       res.Failed,
+			Rejected:     res.Rejected,
+			Dropped:      res.Dropped,
+			Errored:      res.Errored,
+			SuccessRate:  res.SuccessRate,
+			Throughput:   res.Throughput,
+			MakespanMs:   res.Makespan.Millis(),
+			LatencyP50Ms: res.LatencyP50Ms,
+			LatencyP99Ms: res.LatencyP99Ms,
+			VolumeMoved:  res.VolumeMoved,
+			PeakInFlight: res.PeakInFlight,
+			AuditOK:      res.AuditErr == nil,
+			PendingLocks: res.PendingLocks,
+		}
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":      id,
+		"status":  "running",
+		"run":     "/runs/" + id,
+		"metrics": "/metrics",
+	})
+}
+
+// runView renders one run for the JSON API.
+func (s *server) runView(ru *run) map[string]any {
+	ru.mu.Lock()
+	status, errMsg, summary, result, finished := ru.status, ru.errMsg, ru.summary, ru.result, ru.finished
+	ru.mu.Unlock()
+	v := map[string]any{
+		"id":       ru.ID,
+		"status":   status,
+		"started":  ru.Started.UTC().Format(time.RFC3339Nano),
+		"progress": ru.progress(),
+	}
+	if !finished.IsZero() {
+		v["finished"] = finished.UTC().Format(time.RFC3339Nano)
+		v["elapsed_ms"] = float64(finished.Sub(ru.Started)) / float64(time.Millisecond)
+	}
+	if errMsg != "" {
+		v["error"] = errMsg
+	}
+	if result != nil {
+		v["result"] = result
+		v["summary"] = summary
+	}
+	return v
+}
+
+func (s *server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ru, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.runView(ru))
+}
+
+func (s *server) handleListRuns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	s.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.StringSlice(ids))) // newest first: ids are zero-padded
+	views := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		ru := s.runs[id]
+		s.mu.Unlock()
+		views = append(views, s.runView(ru))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": views})
+}
+
+// handleMetrics renders the merged Prometheus exposition: the base registry
+// plus every run's labelled registry, families deduplicated under one
+// HELP/TYPE header.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	regs := make([]*metrics.Registry, 0, len(s.order)+1)
+	regs = append(regs, s.base)
+	for _, id := range s.order {
+		regs = append(regs, s.runs[id].Reg)
+	}
+	s.mu.Unlock()
+	snaps := make([][]metrics.Family, len(regs))
+	for i, reg := range regs {
+		snaps[i] = reg.Snapshot()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WriteProm(w, snaps...) //nolint:errcheck // client gone mid-scrape
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// post starts a run and returns its id.
+func post(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs = %d: %s", resp.StatusCode, raw)
+	}
+	var v struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("bad POST response %q: %v", raw, err)
+	}
+	if v.ID == "" || v.Status != "running" {
+		t.Fatalf("unexpected POST response: %s", raw)
+	}
+	return v.ID
+}
+
+// get fetches a JSON document.
+func get(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitDone polls GET /runs/{id} until the run leaves "running".
+func waitDone(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var v map[string]any
+		if code := get(t, ts, "/runs/"+id, &v); code != http.StatusOK {
+			t.Fatalf("GET /runs/%s = %d", id, code)
+		}
+		if v["status"] != "running" {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("run %s never finished", id)
+	return nil
+}
+
+// TestServeEndToEnd drives the full surface: healthz, two runs (one
+// streaming), per-run progress, the runs listing, and a /metrics scrape
+// covering the sim, net, traffic, ledger and sig families with run labels.
+func TestServeEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(newServer(false))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	id1 := post(t, ts, `{"escrows": 3, "payments": 120, "rate": 800, "crypto": "hmac", "mix": "timelock=1,htlc=1"}`)
+	id2 := post(t, ts, `{"escrows": 2, "payments": 200, "rate": 1500, "crypto": "hmac", "stream": true, "liquidity": 300, "queue_patience_ms": 50}`)
+
+	v1 := waitDone(t, ts, id1)
+	v2 := waitDone(t, ts, id2)
+	for _, v := range []map[string]any{v1, v2} {
+		if v["status"] != "done" {
+			t.Fatalf("run failed: %v", v)
+		}
+		result := v["result"].(map[string]any)
+		if result["audit_ok"] != true || result["pending_locks"] != float64(0) {
+			t.Fatalf("ledger state after run: %v", result)
+		}
+		prog := v["progress"].(map[string]any)
+		if prog["generated"].(float64) != result["total"].(float64) {
+			t.Errorf("progress generated %v != total %v", prog["generated"], result["total"])
+		}
+		if prog["in_flight"].(float64) != 0 || prog["queue_depth"].(float64) != 0 {
+			t.Errorf("gauges not drained: %v", prog)
+		}
+	}
+
+	var list struct {
+		Runs []map[string]any `json:"runs"`
+	}
+	if code := get(t, ts, "/runs", &list); code != http.StatusOK || len(list.Runs) != 2 {
+		t.Fatalf("GET /runs = %d with %d runs", code, len(list.Runs))
+	}
+	if list.Runs[0]["id"] != id2 {
+		t.Errorf("listing not newest-first: %v", list.Runs)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	scrape := string(body)
+	// Every family of the instrumented stack is present...
+	for _, family := range []string{
+		"xchain_sim_events_fired_total",
+		"xchain_sim_virtual_time_ms",
+		"xchain_net_messages_delivered_total",
+		"xchain_traffic_payments_settled_total",
+		"xchain_traffic_latency_ms",
+		"xchain_ledger_locks_created_total",
+		"xchain_ledger_ops_total",
+		"xchain_sig_keygen_cache_hits_total",
+		"xchain_serve_runs",
+	} {
+		if !strings.Contains(scrape, "# TYPE "+family+" ") {
+			t.Errorf("scrape missing family %s", family)
+		}
+		if c := strings.Count(scrape, "# TYPE "+family+" "); c != 1 {
+			t.Errorf("family %s has %d TYPE headers, want 1 (merge broken)", family, c)
+		}
+	}
+	// ...and per-run samples are distinguished by the run label.
+	for _, id := range []string{id1, id2} {
+		if !strings.Contains(scrape, fmt.Sprintf(`xchain_traffic_payments_settled_total{run=%q}`, id)) {
+			t.Errorf("scrape missing settled counter for %s:\n%s", id, firstLines(scrape, 40))
+		}
+	}
+	// The streaming run alone exercised the chunk counters.
+	if !strings.Contains(scrape, fmt.Sprintf(`xchain_traffic_chunks_generated_total{run=%q}`, id2)) {
+		t.Errorf("scrape missing chunk counters for streaming run")
+	}
+	// Prometheus text format sanity: every non-comment line is
+	// "name{labels} value" with a parseable float value.
+	for _, line := range strings.Split(strings.TrimSuffix(scrape, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := parseFloat(fields[1]); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+	}
+}
+
+// TestServeValidation rejects malformed and unknown inputs synchronously.
+func TestServeValidation(t *testing.T) {
+	ts := httptest.NewServer(newServer(false))
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"nope": 1}`},
+		{"unknown protocol", `{"mix": "notaproto=1", "payments": 10}`},
+		{"bad arrival", `{"arrival": "always", "payments": 10}`},
+		{"bad faults", `{"faults": "c1"}`},
+	} {
+		resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: POST = %d, want 400 (%s)", tc.name, resp.StatusCode, raw)
+		}
+	}
+	if code := get(t, ts, "/runs/run-9999", nil); code != http.StatusNotFound {
+		t.Errorf("missing run returned %d, want 404", code)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func parseFloat(s string) (float64, error) {
+	var f float64
+	_, err := fmt.Sscanf(s, "%g", &f)
+	return f, err
+}

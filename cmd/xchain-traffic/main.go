@@ -34,6 +34,7 @@
 //	                   aggregates, orders of magnitude less signing CPU)
 //	-crypto-stats      print key-cache / verification-memo counters
 //	-max-verify-miss 0 fail if the verify-memo miss rate exceeds this fraction
+//	-progress 0s       print a live progress line to stderr at this interval
 //	-v                 print one line per payment (the exemplars with -stream)
 package main
 
@@ -43,14 +44,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	xchainpay "repro"
 	"repro/internal/adversary"
+	"repro/internal/metrics"
 	"repro/internal/sig"
 	"repro/internal/sim"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -87,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		crypto      = fs.String("crypto", "", "signature backend: ed25519 (default), hmac")
 		cryptoStats = fs.Bool("crypto-stats", false, "print key-cache and verification-memo counters after the run")
 		maxMiss     = fs.Float64("max-verify-miss", 0, "fail if the verification-memo miss rate exceeds this fraction (0 = no gate)")
+		progress    = fs.Duration("progress", 0, "print a live progress line to stderr at this wall-clock interval (0 = off)")
 		verbose     = fs.Bool("v", false, "print one line per payment (the exemplars with -stream)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -143,16 +148,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := xchainpay.TrafficConfig{Workers: *workers, Stream: *stream, Exemplars: *exemplars, Crypto: *crypto}
-	// cryptoGate prints the process-wide cache counters and applies the
-	// verification-memo miss-rate gate; it covers single runs and sweeps
-	// alike (the counters aggregate every run of the process).
+	var stopProgress func()
+	if *progress > 0 {
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		stopProgress = startProgress(stderr, reg, *progress)
+		// Error paths return without reaching cryptoGate; make sure the
+		// progress goroutine never outlives the run (stop is idempotent).
+		defer stopProgress()
+	}
+	// cryptoGate prints the process-wide cache counters under their
+	// canonical metric names (the same the /metrics exposition uses, see
+	// internal/sig RegisterMetrics) and applies the verification-memo
+	// miss-rate gate; it covers single runs and sweeps alike (the counters
+	// aggregate every run of the process).
 	cryptoGate := func() int {
+		if stopProgress != nil {
+			stopProgress()
+		}
 		if !*cryptoStats && *maxMiss <= 0 {
 			return 0
 		}
 		st := sig.GlobalStats()
-		fmt.Fprintf(stdout, "crypto: keygen hits %d misses %d, verify-memo hits %d misses %d (miss rate %.3f)\n",
-			st.KeygenHits, st.KeygenMisses, st.MemoHits, st.MemoMisses, st.VerifyMissRate())
+		fmt.Fprintf(stdout, "crypto: %s=%d %s=%d %s=%d %s=%d %s=%d (verify miss rate %.3f)\n",
+			sig.MetricKeygenCacheHits, st.KeygenHits,
+			sig.MetricKeygenCacheMisses, st.KeygenMisses,
+			sig.MetricVerifyMemoHits, st.MemoHits,
+			sig.MetricVerifyMemoMisses, st.MemoMisses,
+			sig.MetricVerifyMemoEvictions, st.MemoEvictions,
+			st.VerifyMissRate())
 		if *maxMiss > 0 && st.VerifyMissRate() > *maxMiss {
 			fmt.Fprintf(stderr, "xchain-traffic: verification-memo miss rate %.3f exceeds gate %.3f\n", st.VerifyMissRate(), *maxMiss)
 			return 1
@@ -195,3 +219,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func durToSim(d time.Duration) sim.Time { return sim.Time(d / time.Microsecond) }
+
+// startProgress launches a goroutine printing one progress line to w
+// immediately and then every interval, reading the run's live registry and
+// the Go heap. The returned stop function is idempotent: it prints a final
+// line and waits for the goroutine to exit, so no write races the caller's
+// own output.
+func startProgress(w io.Writer, reg *metrics.Registry, every time.Duration) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		var lastSettled uint64
+		lastAt := time.Now()
+		line := func() {
+			settled := reg.Counter(traffic.MetricPaymentsSettled, "").Value()
+			now := time.Now()
+			rate := 0.0
+			if dt := now.Sub(lastAt).Seconds(); dt > 0 {
+				rate = float64(settled-lastSettled) / dt
+			}
+			lastSettled, lastAt = settled, now
+			lat := reg.Histogram(traffic.MetricLatencyMs, "")
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Fprintf(w, "progress: generated=%d simulated=%d settled=%d (%.0f/s wall) queue=%.0f in-flight=%.0f p50=%.3fms p99=%.3fms heap=%.1fMB\n",
+				reg.Counter(traffic.MetricPaymentsGenerated, "").Value(),
+				reg.Counter(traffic.MetricPaymentsSimulated, "").Value(),
+				settled, rate,
+				reg.Gauge(traffic.MetricQueueDepth, "").Value(),
+				reg.Gauge(traffic.MetricInFlight, "").Value(),
+				lat.Quantile(0.5), lat.Quantile(0.99),
+				float64(ms.HeapAlloc)/(1<<20))
+		}
+		line()
+		for {
+			select {
+			case <-stop:
+				line()
+				return
+			case <-t.C:
+				line()
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(stop)
+		<-done
+	}
+}

@@ -103,3 +103,47 @@ func TestRunBadFlags(t *testing.T) {
 		t.Errorf("-h should print usage and exit 0 (exit %d)", code)
 	}
 }
+
+// -progress prints at least one live progress line (the first fires
+// immediately, a final one at stop) with the run's counters, without
+// changing the summary or the exit code.
+func TestRunProgress(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-n", "3", "-payments", "60", "-rate", "300", "-progress", "1h",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "traffic: 60 payments over 3 escrows") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+	progress := errOut.String()
+	if strings.Count(progress, "progress: ") < 2 {
+		t.Fatalf("want an immediate and a final progress line, got:\n%s", progress)
+	}
+	// The final line reflects the drained run.
+	for _, want := range []string{"generated=60", "settled=", "p50=", "heap="} {
+		if !strings.Contains(progress, want) {
+			t.Errorf("progress output missing %q:\n%s", want, progress)
+		}
+	}
+}
+
+// -crypto-stats prints the canonical sig metric names, so logs and /metrics
+// scrapes agree on what the counters are called.
+func TestRunCryptoStatsNames(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-n", "2", "-payments", "20", "-crypto", "hmac", "-crypto-stats"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"xchain_sig_keygen_cache_hits_total=",
+		"xchain_sig_verify_memo_misses_total=",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("crypto-stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}

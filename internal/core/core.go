@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/ledger"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sig"
 	"repro/internal/sim"
@@ -299,6 +300,12 @@ type Scenario struct {
 	// MaxEvents caps simulation events as a runaway guard; 0 means the
 	// protocol package's default.
 	MaxEvents uint64
+	// Metrics, if non-nil, receives live kernel/network/ledger counters
+	// from the run. Instrumentation is observation-only: a run's verdict,
+	// settlement trace and audits are byte-identical with or without it
+	// (the nil-registry differential test in internal/traffic enforces
+	// this), so — like Crypto — it can never be a protocol input.
+	Metrics *metrics.Registry
 }
 
 // FaultOf returns the fault spec of a participant (zero value if honest).

@@ -151,16 +151,20 @@ func (p *Protocol) Run(s core.Scenario) (*core.RunResult, error) {
 		return nil, fmt.Errorf("htlc: %w", err)
 	}
 	eng := sim.NewEngine(s.Seed)
+	eng.SetMetrics(sim.MetricsFrom(s.Metrics))
 	tr := trace.New()
 	if s.MuteTrace {
 		tr.Mute()
 	}
 	net := netsim.New(eng, s.Network, tr)
+	net.SetMetrics(netsim.MetricsFrom(s.Metrics))
+	ledgerMetrics := ledger.MetricsFrom(s.Metrics, "protocol")
 	topo := s.Topology
 
 	book := ledger.NewBook()
 	for i := 0; i < topo.N; i++ {
 		led := ledger.New(core.EscrowID(i))
+		led.SetMetrics(ledgerMetrics)
 		if err := led.CreateAccount(core.EscrowID(i)); err != nil {
 			return nil, err
 		}

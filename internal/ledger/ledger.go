@@ -106,6 +106,10 @@ type Ledger struct {
 	minted   int64
 	compact  bool
 	settled  int // settled locks forgotten under compaction
+
+	// m holds optional instrumentation hooks (see SetMetrics); the zero
+	// value is muted and every update is an inlined nil no-op.
+	m Metrics
 }
 
 // New creates an empty ledger named name (normally the escrow's ID).
@@ -177,6 +181,7 @@ func (l *Ledger) Mint(at sim.Time, owner string, amount int64) error {
 	}
 	l.accounts[owner] += amount
 	l.minted += amount
+	l.m.Available.Add(float64(amount))
 	l.log(Op{At: at, Kind: OpMint, To: owner, Amount: amount})
 	return nil
 }
@@ -218,6 +223,9 @@ func (l *Ledger) CreateLock(at sim.Time, id, payer, payee string, amount int64, 
 	l.accounts[payer] -= amount
 	lk := &Lock{ID: id, Payer: payer, Payee: payee, Amount: amount, CreatedAt: at, Cond: cond, State: LockPending}
 	l.locks[id] = lk
+	l.m.LocksCreated.Inc()
+	l.m.Available.Add(-float64(amount))
+	l.m.Escrowed.Add(float64(amount))
 	l.log(Op{At: at, Kind: OpLock, From: payer, To: payee, Amount: amount, LockID: id})
 	return lk, nil
 }
@@ -269,6 +277,9 @@ func (l *Ledger) Release(at sim.Time, id string, preimage []byte, localNow sim.T
 	lk.State = LockReleased
 	lk.SettledAt = at
 	l.accounts[lk.Payee] += lk.Amount
+	l.m.LocksReleased.Inc()
+	l.m.Escrowed.Add(-float64(lk.Amount))
+	l.m.Available.Add(float64(lk.Amount))
 	l.log(Op{At: at, Kind: OpRelease, From: lk.Payer, To: lk.Payee, Amount: lk.Amount, LockID: id})
 	l.forget(id)
 	return nil
@@ -290,6 +301,9 @@ func (l *Ledger) Refund(at sim.Time, id string, localNow sim.Time) error {
 	lk.State = LockRefunded
 	lk.SettledAt = at
 	l.accounts[lk.Payer] += lk.Amount
+	l.m.LocksRefunded.Inc()
+	l.m.Escrowed.Add(-float64(lk.Amount))
+	l.m.Available.Add(float64(lk.Amount))
 	l.log(Op{At: at, Kind: OpRefund, From: lk.Payer, To: lk.Payer, Amount: lk.Amount, LockID: id})
 	l.forget(id)
 	return nil
@@ -314,6 +328,7 @@ func (l *Ledger) OpCount() int { return l.opCount }
 func (l *Ledger) log(op Op) {
 	op.Seq = l.opCount
 	l.opCount++
+	l.m.Ops.Inc()
 	if !l.compact {
 		l.ops = append(l.ops, op)
 	}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// quantiles are the summary quantiles histograms expose.
+var quantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// SampleValue is one exposition line's worth of data: the family name plus
+// an optional suffix (_sum, _count), the fully rendered label set (constant
+// registry labels merged with the sample's own), and the value.
+type SampleValue struct {
+	Suffix string
+	Labels string
+	Value  float64
+}
+
+// Family is a snapshot of one metric family: every labelled sample of one
+// name, with the TYPE/HELP metadata exposition needs.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []SampleValue
+}
+
+// joinLabels merges rendered label fragments, skipping empties.
+func joinLabels(parts ...string) string {
+	var nonEmpty []string
+	for _, p := range parts {
+		if p != "" {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	return strings.Join(nonEmpty, ",")
+}
+
+// Snapshot captures every family's current values. The result is
+// deterministic: families sorted by name, samples sorted by label set (with
+// a histogram's quantile/sum/count block in fixed order). Counters, gauges
+// and histogram cells are read atomically, so snapshotting during a live
+// run yields an approximately consistent view without pausing writers.
+func (r *Registry) Snapshot() []Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	consts := renderLabels(r.consts)
+
+	out := make([]Family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fam := Family{Name: f.name, Help: f.help, Kind: f.kind}
+		if f.fn != nil {
+			fam.Samples = append(fam.Samples, SampleValue{Labels: consts, Value: f.fn()})
+			out = append(out, fam)
+			continue
+		}
+		keys := make([]string, 0, len(f.samples))
+		for k := range f.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.samples[k]
+			base := joinLabels(consts, s.labels)
+			switch f.kind {
+			case KindCounter:
+				fam.Samples = append(fam.Samples, SampleValue{Labels: base, Value: float64(s.c.Value())})
+			case KindGauge:
+				fam.Samples = append(fam.Samples, SampleValue{Labels: base, Value: s.g.Value()})
+			case KindSummary:
+				for _, q := range quantiles {
+					fam.Samples = append(fam.Samples, SampleValue{
+						Labels: joinLabels(base, fmt.Sprintf("quantile=%q", strconv.FormatFloat(q, 'g', -1, 64))),
+						Value:  s.h.Quantile(q),
+					})
+				}
+				fam.Samples = append(fam.Samples,
+					SampleValue{Suffix: "_sum", Labels: base, Value: s.h.Sum()},
+					SampleValue{Suffix: "_count", Labels: base, Value: float64(s.h.Count())})
+			}
+		}
+		out = append(out, fam)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// formatValue renders a sample value: integral values as integers (the
+// common case for counters), everything else in shortest-float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes one or more snapshots to w in Prometheus text exposition
+// format (version 0.0.4). Snapshots sharing family names are merged under a
+// single HELP/TYPE header — this is how the serve endpoint renders many
+// per-run registries (distinguished by constant run labels) plus the
+// process-wide registry as one scrape.
+func WriteProm(w io.Writer, snaps ...[]Family) error {
+	merged := map[string]*Family{}
+	var names []string
+	for _, snap := range snaps {
+		for i := range snap {
+			f := &snap[i]
+			m, ok := merged[f.Name]
+			if !ok {
+				cp := Family{Name: f.Name, Help: f.Help, Kind: f.Kind}
+				merged[f.Name] = &cp
+				names = append(names, f.Name)
+				m = &cp
+			}
+			if m.Help == "" {
+				m.Help = f.Help
+			}
+			m.Samples = append(m.Samples, f.Samples...)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := merged[name]
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			labels := ""
+			if s.Labels != "" {
+				labels = "{" + s.Labels + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", f.Name, s.Suffix, labels, formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteProm writes this registry's snapshot in Prometheus text exposition
+// format.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return WriteProm(w, r.Snapshot())
+}

@@ -198,6 +198,7 @@ func deliver(x any) {
 	*d = deliverArg{}
 	n.freeArgs = append(n.freeArgs, d)
 	n.stats.Delivered++
+	n.m.Delivered.Inc()
 	n.stats.TotalDelay += delay
 	if delay > n.stats.MaxDelay {
 		n.stats.MaxDelay = delay
@@ -221,6 +222,7 @@ type Network struct {
 	rules    []LinkRule
 	seq      uint64
 	stats    Stats
+	m        Metrics
 	freeArgs []*deliverArg
 	// Tap, if set, observes every delivered message after the recipient
 	// handles it (used by checkers needing message-level visibility).
@@ -287,6 +289,7 @@ func (n *Network) Send(from, to string, msg Message) {
 	now := n.eng.Now()
 	env := Envelope{From: from, To: to, Msg: msg, SentAt: now, Seq: n.seq}
 	n.stats.Sent++
+	n.m.Sent.Inc()
 	recording := n.tr.Recording()
 	if recording {
 		n.tr.Add(now, trace.KindSend, from, to, msg.Describe())
@@ -304,6 +307,7 @@ func (n *Network) Send(from, to string, msg Message) {
 	dst, ok := n.nodes[to]
 	if drop || !ok {
 		n.stats.Dropped++
+		n.m.Dropped.Inc()
 		if recording {
 			n.tr.Add(now, trace.KindDrop, from, to, msg.Describe())
 		}
@@ -335,6 +339,7 @@ func (n *Network) Send(from, to string, msg Message) {
 // in sorted node-ID order so that the per-message sequence numbers and delay
 // draws are identical on every run.
 func (n *Network) Broadcast(from string, msg Message) {
+	n.m.Broadcasts.Inc()
 	for _, id := range n.ids {
 		if id != from {
 			n.Send(from, id, msg)

@@ -1,0 +1,45 @@
+package sig
+
+import "repro/internal/metrics"
+
+// Canonical crypto metric names (the sig family of /metrics). The CLI's
+// -crypto-stats gate prints the same names, so logs and scrapes always talk
+// about the same counters.
+const (
+	// MetricKeygenCacheHits / Misses count key derivations served from /
+	// missing the process-wide key cache.
+	MetricKeygenCacheHits   = "xchain_sig_keygen_cache_hits_total"
+	MetricKeygenCacheMisses = "xchain_sig_keygen_cache_misses_total"
+	// MetricVerifyMemoHits / Misses count signature verifications served
+	// from / missing keyring verification memos; a miss pays one backend
+	// Verify.
+	MetricVerifyMemoHits   = "xchain_sig_verify_memo_hits_total"
+	MetricVerifyMemoMisses = "xchain_sig_verify_memo_misses_total"
+	// MetricVerifyMemoEvictions counts memo resets (capacity or key
+	// replacement).
+	MetricVerifyMemoEvictions = "xchain_sig_verify_memo_evictions_total"
+)
+
+// RegisterMetrics exposes the process-wide crypto cache counters on r as
+// func-backed counters: scrapes read the same atomics GlobalStats reports,
+// with no extra bookkeeping on the signing or verification hot paths. Nil
+// registries are a no-op.
+//
+// The counters are process-wide (one key cache, many keyrings), so on a
+// multi-run server they appear once on the base registry rather than per
+// run.
+func RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(MetricKeygenCacheHits, "Key derivations served from the process-wide key cache.",
+		func() float64 { return float64(globalKeygenHits.Load()) })
+	r.CounterFunc(MetricKeygenCacheMisses, "Key derivations missing the process-wide key cache.",
+		func() float64 { return float64(globalKeygenMisses.Load()) })
+	r.CounterFunc(MetricVerifyMemoHits, "Signature verifications served from keyring memos.",
+		func() float64 { return float64(globalMemoHits.Load()) })
+	r.CounterFunc(MetricVerifyMemoMisses, "Signature verifications missing keyring memos.",
+		func() float64 { return float64(globalMemoMisses.Load()) })
+	r.CounterFunc(MetricVerifyMemoEvictions, "Keyring verification memo resets.",
+		func() float64 { return float64(globalMemoEvictions.Load()) })
+}

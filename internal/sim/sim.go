@@ -85,6 +85,7 @@ func (t Timer) Cancel() {
 	if t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled {
 		t.ev.canceled = true
 		t.eng.live--
+		t.eng.m.Canceled.Inc()
 	}
 }
 
@@ -110,6 +111,10 @@ type Engine struct {
 	// Stats
 	fired     uint64
 	scheduled uint64
+
+	// m holds optional instrumentation hooks (see SetMetrics); the zero
+	// value is muted and every update below is an inlined nil no-op.
+	m Metrics
 }
 
 // NewEngine returns an engine with virtual time 0 and a deterministic RNG
@@ -206,6 +211,7 @@ func (e *Engine) schedule(at Time, name string, fn func(), argFn func(any), arg 
 	}
 	e.seq++
 	e.scheduled++
+	e.m.Scheduled.Inc()
 	var ev *event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
@@ -283,6 +289,10 @@ func (e *Engine) step(until Time) bool {
 		e.now = next.at
 		e.fired++
 		e.live--
+		e.m.Fired.Inc()
+		if e.m.Watermark != nil {
+			e.m.Watermark.Set(next.at.Millis())
+		}
 		// Copy the callback out and recycle before invoking: the callback may
 		// itself schedule (reusing this record) or cancel its own stale Timer,
 		// both of which are safe once the generation has been bumped.

@@ -41,11 +41,14 @@ func setupEnv(s core.Scenario, params Params) (*env, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine(s.Seed)
+	eng.SetMetrics(sim.MetricsFrom(s.Metrics))
 	tr := trace.New()
 	if s.MuteTrace {
 		tr.Mute()
 	}
 	net := netsim.New(eng, s.Network, tr)
+	net.SetMetrics(netsim.MetricsFrom(s.Metrics))
+	ledgerMetrics := ledger.MetricsFrom(s.Metrics, "protocol")
 	topo := s.Topology
 
 	kr := sig.NewKeyringWith(s.SigOptions(), s.DerivedKeySeed(), topo.Participants())
@@ -53,6 +56,7 @@ func setupEnv(s core.Scenario, params Params) (*env, error) {
 	book := ledger.NewBook()
 	for i := 0; i < topo.N; i++ {
 		led := ledger.New(core.EscrowID(i))
+		led.SetMetrics(ledgerMetrics)
 		// Escrow e_i hosts accounts for itself and for its two customers
 		// c_i and c_{i+1}; the customers receive their initial endowment.
 		if err := led.CreateAccount(core.EscrowID(i)); err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/htlc"
 	"repro/internal/ledger"
+	"repro/internal/metrics"
 	"repro/internal/sig"
 	"repro/internal/sim"
 	"repro/internal/timelock"
@@ -47,6 +48,12 @@ type Config struct {
 	// wall-clock cost only — success counts, rates, latencies and audits are
 	// identical across backends.
 	Crypto string
+	// Metrics, if non-nil, receives live run counters: pipeline progress,
+	// payment outcomes, latency, queue depth, liquidity and the kernel
+	// counters of every engine the run spins up (it overrides the
+	// scenario's registry). Observation only: the Result is byte-identical
+	// with or without it — TestMetricsResultEquivalence enforces this.
+	Metrics *metrics.Registry
 }
 
 // workers resolves the worker count.
@@ -166,6 +173,14 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Config.Metrics overrides the scenario's registry; either way the
+	// scenario carries it so every payment's sub-run inherits the shared
+	// counters through subScenario.
+	if cfg.Metrics != nil {
+		s.Metrics = cfg.Metrics
+	}
+	rm := NewRunMetrics(s.Metrics)
+
 	res := &Result{
 		Chain:    s.Topology.N,
 		Seed:     s.Seed,
@@ -183,13 +198,14 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 			// dedicated generator pass computes it in O(topology) memory.
 			demand = w.demand(s)
 		}
-		src = newStreamSource(s, w, registry, cfg.workers())
+		src = newStreamSource(s, w, registry, cfg.workers(), rm)
 	} else {
 		payments := w.generate(s)
+		rm.Generated.Add(uint64(len(payments)))
 		if w.Liquidity <= 0 {
 			demand = demandOf(payments)
 		}
-		subs := simulatePayments(s, payments, registry, cfg.workers())
+		subs := simulatePayments(s, payments, registry, cfg.workers(), rm)
 		src = &sliceSource{pays: payments, subs: subs}
 	}
 	res.Book = newLiquidityBook(s, w, demand)
@@ -198,21 +214,30 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 	if !cfg.keep() {
 		exemplars = cfg.Exemplars
 	}
-	executeTimeline(res, src, w, cfg.keep(), exemplars)
+	executeTimeline(res, src, w, cfg.keep(), exemplars, s.Metrics, rm)
 	return res, nil
 }
 
 // executeTimeline drives the admission timeline over the payment source and
-// finalises every aggregate of res.
-func executeTimeline(res *Result, src paymentSource, w Workload, keep bool, exemplars int) {
+// finalises every aggregate of res. The timeline's engine is the run's
+// authoritative virtual clock, so it (and only it) carries the virtual-time
+// watermark gauge.
+func executeTimeline(res *Result, src paymentSource, w Workload, keep bool, exemplars int, reg *metrics.Registry, rm RunMetrics) {
 	agg := newAggregator(res, keep, exemplars)
+	agg.m = rm
 	tl := &timeline{
 		eng:  sim.NewEngine(res.Seed),
 		res:  res,
 		agg:  agg,
 		w:    w,
 		book: res.Book,
+		m:    rm,
 	}
+	em := sim.MetricsFrom(reg)
+	if reg != nil {
+		em.Watermark = reg.Gauge(sim.MetricVirtualTimeMs, "Virtual time of the traffic admission timeline in milliseconds.")
+	}
+	tl.eng.SetMetrics(em)
 	tl.run(src)
 	res.TimelineEvents = tl.fired
 	agg.finalize(res)
@@ -264,9 +289,10 @@ type streamSource struct {
 	ordered <-chan *chunk
 	cur     *chunk
 	i       int
+	m       RunMetrics
 }
 
-func newStreamSource(s core.Scenario, w Workload, registry map[string]core.Protocol, workers int) *streamSource {
+func newStreamSource(s core.Scenario, w Workload, registry map[string]core.Protocol, workers int, rm RunMetrics) *streamSource {
 	depth := workers + 2
 	ordered := make(chan *chunk, depth)
 	work := make(chan *chunk, depth)
@@ -285,6 +311,8 @@ func newStreamSource(s core.Scenario, w Workload, registry map[string]core.Proto
 				break
 			}
 			c.subs = make([]subOutcome, len(c.pays))
+			rm.Generated.Add(uint64(len(c.pays)))
+			rm.ChunksGenerated.Inc()
 			work <- c
 			ordered <- c
 		}
@@ -296,12 +324,14 @@ func newStreamSource(s core.Scenario, w Workload, registry map[string]core.Proto
 			for c := range work {
 				for j, p := range c.pays {
 					c.subs[j] = simulateOne(s, p, registry)
+					rm.Simulated.Inc()
 				}
+				rm.ChunksSimulated.Inc()
 				close(c.done)
 			}
 		}()
 	}
-	return &streamSource{ordered: ordered}
+	return &streamSource{ordered: ordered, m: rm}
 }
 
 func (s *streamSource) next() (*payment, subOutcome, bool) {
@@ -311,6 +341,7 @@ func (s *streamSource) next() (*payment, subOutcome, bool) {
 			return nil, subOutcome{}, false
 		}
 		<-c.done
+		s.m.ChunksConsumed.Inc()
 		s.cur, s.i = c, 0
 	}
 	p, sub := s.cur.pays[s.i], s.cur.subs[s.i]
@@ -352,10 +383,11 @@ func forEachIndex(n, workers int, fn func(int)) {
 
 // simulatePayments runs every payment's protocol simulation across a worker
 // pool. Result order is by payment index, independent of scheduling.
-func simulatePayments(base core.Scenario, payments []*payment, registry map[string]core.Protocol, workers int) []subOutcome {
+func simulatePayments(base core.Scenario, payments []*payment, registry map[string]core.Protocol, workers int, rm RunMetrics) []subOutcome {
 	out := make([]subOutcome, len(payments))
 	forEachIndex(len(payments), workers, func(idx int) {
 		out[idx] = simulateOne(base, payments[idx], registry)
+		rm.Simulated.Inc()
 	})
 	return out
 }
@@ -369,9 +401,20 @@ func simulatePayments(base core.Scenario, payments []*payment, registry map[stri
 // proportional to pending locks rather than to the payment count.
 func newLiquidityBook(s core.Scenario, w Workload, demand map[string]map[string]int64) *ledger.Book {
 	book := ledger.NewBook()
+	lm := ledger.MetricsFrom(s.Metrics, "traffic")
 	for i := 0; i < s.Topology.N; i++ {
 		l := ledger.New(core.EscrowID(i))
 		l.SetCompact(true)
+		if s.Metrics != nil {
+			// Traffic ledgers are only touched by the timeline goroutine, so
+			// the per-ledger liquidity gauges stay consistent.
+			m := lm
+			m.Available = s.Metrics.Gauge(ledger.MetricLiquidityAvailable,
+				"Available (unescrowed) traffic liquidity.", "ledger", l.Name())
+			m.Escrowed = s.Metrics.Gauge(ledger.MetricLiquidityEscrowed,
+				"Traffic liquidity held in pending locks.", "ledger", l.Name())
+			l.SetMetrics(m)
+		}
 		for _, owner := range []string{core.CustomerID(i), core.CustomerID(i + 1)} {
 			endow := w.Liquidity
 			if w.Liquidity <= 0 {
@@ -418,6 +461,7 @@ type timeline struct {
 	agg  *aggregator
 	w    Workload
 	book *ledger.Book
+	m    RunMetrics
 
 	qhead, qtail *flight
 	qlen         int
@@ -525,6 +569,7 @@ func (t *timeline) admit(f *flight, now sim.Time) bool {
 func (t *timeline) start(f *flight, now sim.Time) {
 	f.pr.Start = now
 	t.inFlight++
+	t.m.InFlight.Set(float64(t.inFlight))
 	if t.inFlight > t.res.PeakInFlight {
 		t.res.PeakInFlight = t.inFlight
 	}
@@ -548,6 +593,7 @@ func (t *timeline) start(f *flight, now sim.Time) {
 			}
 		}
 		t.inFlight--
+		t.m.InFlight.Set(float64(t.inFlight))
 		t.finish(f)
 		t.drainQueue(end)
 	})
@@ -564,6 +610,7 @@ func (t *timeline) enqueue(f *flight) {
 	}
 	t.qtail = f
 	t.qlen++
+	t.m.QueueDepth.Set(float64(t.qlen))
 }
 
 // unlink removes f from the admission queue in O(1).
@@ -584,6 +631,7 @@ func (t *timeline) unlink(f *flight) {
 	f.prev, f.next = nil, nil
 	f.inQueue = false
 	t.qlen--
+	t.m.QueueDepth.Set(float64(t.qlen))
 }
 
 // drainQueue retries waiting payments in arrival order whenever settlement

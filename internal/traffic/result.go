@@ -148,6 +148,10 @@ type Result struct {
 // per-payment records are kept and from a log-bucketed histogram otherwise.
 type aggregator struct {
 	keep bool
+	// m mirrors terminal statuses and latencies into the live registry (the
+	// zero value is muted). It feeds observers only; every Result field
+	// still comes from the exact fields below.
+	m RunMetrics
 	// latSample holds every latency when keep; latHist summarises them when
 	// not. Mean and max are tracked exactly in both modes.
 	latSample *stats.Sample
@@ -187,6 +191,7 @@ func newAggregator(res *Result, keep bool, exemplars int) *aggregator {
 
 // observe folds one terminal payment record into the running aggregates.
 func (a *aggregator) observe(r *Result, p *PaymentResult) {
+	a.m.observeStatus(p)
 	r.Total++
 	switch p.Status {
 	case StatusOK:

@@ -176,7 +176,7 @@ func TestQueuedReadmissionAfterPartialRollback(t *testing.T) {
 		Payments: make([]PaymentResult, 2),
 		Book:     newLiquidityBook(s, w, nil),
 	}
-	executeTimeline(res, &sliceSource{pays: payments, subs: subs}, w, true, 0)
+	executeTimeline(res, &sliceSource{pays: payments, subs: subs}, w, true, 0, nil, RunMetrics{})
 
 	a := res.Payments[1]
 	if a.Status != StatusOK {

@@ -450,6 +450,10 @@ func subScenario(base core.Scenario, p *payment) core.Scenario {
 		KeySeed:   base.DerivedKeySeed(),
 		MuteTrace: true,
 		MaxEvents: base.MaxEvents,
+		// Instrumentation follows the base scenario into every sub-run:
+		// shared atomic counters, no per-run registries (observation only,
+		// so sub-run results stay pure functions of the inputs above).
+		Metrics: base.Metrics,
 	}
 	for k := 0; k <= h; k++ {
 		id := core.CustomerID(p.Sender + k)

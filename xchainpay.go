@@ -48,6 +48,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/htlc"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/scenariogen"
 	"repro/internal/sig"
@@ -130,6 +131,14 @@ type (
 	// ScenarioReplay is a saved counterexample: a spec plus the outcome it
 	// must reproduce deterministically.
 	ScenarioReplay = scenariogen.Replay
+	// MetricsRegistry is a concurrency-safe registry of counters, gauges
+	// and log-bucketed histograms with Prometheus text exposition
+	// (WriteProm). Attach one via Scenario.Metrics or
+	// TrafficConfig.Metrics to observe a run live; instrumentation is
+	// observation-only and never changes a result (see internal/metrics).
+	MetricsRegistry = metrics.Registry
+	// MetricFamily is one metric family of a registry snapshot.
+	MetricFamily = metrics.Family
 )
 
 // Workload arrival processes and amount distributions, re-exported.
@@ -169,6 +178,21 @@ func CryptoBackends() []string { return sig.BackendNames() }
 
 // CryptoStats returns the process-wide authentication cache counters.
 func CryptoStats() SigStats { return sig.GlobalStats() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewLabeledMetricsRegistry returns a registry whose every sample carries
+// the given base label pairs (e.g. "run", "run-0001"), so multiple
+// registries can be merged into one exposition (metrics.WriteProm).
+func NewLabeledMetricsRegistry(labelPairs ...string) *MetricsRegistry {
+	return metrics.NewLabeledRegistry(labelPairs...)
+}
+
+// RegisterCryptoMetrics exposes the process-wide authentication cache
+// counters (CryptoStats) on r under their canonical xchain_sig_* names,
+// read live at scrape time. A nil registry is a no-op.
+func RegisterCryptoMetrics(r *MetricsRegistry) { sig.RegisterMetrics(r) }
 
 // NewScenario returns a ready-to-run scenario for a chain with n escrows
 // (n+1 customers), a synchronous network at the default timing, a
