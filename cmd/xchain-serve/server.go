@@ -45,6 +45,16 @@ type runRequest struct {
 
 	Faults string `json:"faults"` // "c1=silent,e0=drop-forward"
 
+	// Fault-plan fields (see traffic.FaultPlan): a seed-derived schedule
+	// turning FaultFraction of the connectors Byzantine mid-run, with
+	// optional recovery windows and a weak-liveness manager outage.
+	FaultFraction   float64  `json:"fault_fraction"`
+	FaultBehaviours []string `json:"fault_behaviours"`
+	FaultFromMs     float64  `json:"fault_from_ms"`
+	FaultStaggerMs  float64  `json:"fault_stagger_ms"`
+	FaultOutageMs   float64  `json:"fault_outage_ms"`
+	ManagerOutageMs float64  `json:"manager_outage_ms"`
+
 	Stream  bool   `json:"stream"`
 	Workers int    `json:"workers"`
 	Crypto  string `json:"crypto"`
@@ -107,6 +117,16 @@ func (q runRequest) build() (core.Scenario, traffic.Workload, traffic.Config, er
 	w.Liquidity = q.Liquidity
 	w.QueuePatience = sim.Time(q.QueuePatienceMs * float64(sim.Millisecond))
 	w.MaxQueue = q.MaxQueue
+	if q.FaultFraction > 0 || q.ManagerOutageMs > 0 {
+		w.Faults = traffic.FaultPlan{
+			Fraction:      q.FaultFraction,
+			Behaviours:    q.FaultBehaviours,
+			From:          sim.Time(q.FaultFromMs * float64(sim.Millisecond)),
+			Stagger:       sim.Time(q.FaultStaggerMs * float64(sim.Millisecond)),
+			Outage:        sim.Time(q.FaultOutageMs * float64(sim.Millisecond)),
+			ManagerOutage: sim.Time(q.ManagerOutageMs * float64(sim.Millisecond)),
+		}
+	}
 	w.Mix = nil
 	known := traffic.DefaultProtocols()
 	for _, pair := range strings.Split(q.Mix, ",") {
@@ -161,6 +181,17 @@ type runSummary struct {
 	PeakInFlight int     `json:"peak_in_flight"`
 	AuditOK      bool    `json:"audit_ok"`
 	PendingLocks int     `json:"pending_locks"`
+
+	// Byzantine/oracle fields: what the fault plan did and what the
+	// aggregate safety oracle observed.
+	ByzantineConnectors int      `json:"byzantine_connectors"`
+	FaultedPayments     int      `json:"faulted_payments"`
+	DroppedFaulted      int      `json:"dropped_faulted"`
+	DroppedCapacity     int      `json:"dropped_capacity"`
+	PeakByzantineHeld   int64    `json:"peak_byzantine_held"`
+	SafetyViolations    int      `json:"safety_violations"`
+	SafetySample        []string `json:"safety_sample,omitempty"`
+	CascadeOK           bool     `json:"cascade_ok"`
 }
 
 // progress is the live part of a run's JSON view, read from its registry.
@@ -322,6 +353,15 @@ func (s *server) handleStartRun(w http.ResponseWriter, r *http.Request) {
 			PeakInFlight: res.PeakInFlight,
 			AuditOK:      res.AuditErr == nil,
 			PendingLocks: res.PendingLocks,
+
+			ByzantineConnectors: res.ByzantineConnectors,
+			FaultedPayments:     res.FaultedPayments,
+			DroppedFaulted:      res.DroppedFaulted,
+			DroppedCapacity:     res.DroppedCapacity,
+			PeakByzantineHeld:   res.PeakByzantineHeld,
+			SafetyViolations:    res.SafetyViolations,
+			SafetySample:        res.SafetySample,
+			CascadeOK:           res.CascadeErr == nil,
 		}
 	}()
 

@@ -171,6 +171,55 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeByzantineRun submits a run with a fault plan and checks the
+// summary exposes the attack's footprint while the aggregate safety oracle
+// stays clean, and that the Byzantine metric families reach /metrics.
+func TestServeByzantineRun(t *testing.T) {
+	ts := httptest.NewServer(newServer(false))
+	defer ts.Close()
+
+	id := post(t, ts, `{"escrows": 6, "payments": 300, "rate": 600, "crypto": "hmac",
+		"mix": "timelock=0.4,weaklive=0.3,htlc=0.3",
+		"liquidity": 1500, "queue_patience_ms": 2000,
+		"fault_fraction": 0.25, "fault_behaviours": ["silent", "withhold"],
+		"fault_from_ms": 50, "fault_outage_ms": 400, "manager_outage_ms": 300}`)
+	v := waitDone(t, ts, id)
+	if v["status"] != "done" {
+		t.Fatalf("faulted run failed: %v", v)
+	}
+	result := v["result"].(map[string]any)
+	if result["safety_violations"] != float64(0) {
+		t.Fatalf("aggregate safety oracle violated: %v", result)
+	}
+	if result["audit_ok"] != true || result["cascade_ok"] != true || result["pending_locks"] != float64(0) {
+		t.Fatalf("conservation broken under faults: %v", result)
+	}
+	if result["byzantine_connectors"].(float64) <= 0 {
+		t.Fatalf("fault plan compiled no Byzantine connectors: %v", result)
+	}
+	if result["faulted_payments"].(float64) <= 0 {
+		t.Fatalf("fault plan never touched a payment: %v", result)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	scrape := string(body)
+	for _, family := range []string{
+		"xchain_traffic_byzantine_connectors",
+		"xchain_traffic_byzantine_payments_total",
+		"xchain_traffic_safety_violations_total",
+		"xchain_traffic_liquidity_byzantine_units",
+	} {
+		if !strings.Contains(scrape, "# TYPE "+family+" ") {
+			t.Errorf("scrape missing family %s", family)
+		}
+	}
+}
+
 // TestServeValidation rejects malformed and unknown inputs synchronously.
 func TestServeValidation(t *testing.T) {
 	ts := httptest.NewServer(newServer(false))

@@ -25,6 +25,14 @@
 //	-queue 0s          admission-queue patience for blocked payments
 //	-max-queue 0       queued-payment cap (0 = unbounded)
 //	-fault c1=silent   comma-separated participant=behaviour pairs
+//	-faults 0          fraction of connectors turned Byzantine mid-run by a
+//	                   seed-derived fault plan (0 = no plan)
+//	-fault-behaviours  comma-separated behaviours the plan draws from
+//	                   (default: the adversary catalogue's traffic set)
+//	-fault-from 0s     earliest fault onset (simulated time)
+//	-fault-stagger 0s  per-connector random onset jitter after -fault-from
+//	-fault-outage 0s   per-connector outage window; 0 = faulty forever
+//	-manager-outage 0s weak-liveness manager outage window from -fault-from
 //	-workers 0         worker-pool size (0 = one per CPU; results identical)
 //	-stream            bounded-memory pipeline: peak memory independent of
 //	                   -payments (aggregates only; identical counts/rates)
@@ -84,6 +92,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queue       = fs.Duration("queue", 0, "admission-queue patience for blocked payments")
 		maxQueue    = fs.Int("max-queue", 0, "queued-payment cap (0 = unbounded)")
 		faults      = fs.String("fault", "", "comma-separated participant=behaviour pairs, e.g. c1=silent")
+		faultFrac   = fs.Float64("faults", 0, "fraction of connectors turned Byzantine mid-run (0 = no fault plan)")
+		faultBehav  = fs.String("fault-behaviours", "", "comma-separated behaviours the fault plan draws from (empty = default set)")
+		faultFrom   = fs.Duration("fault-from", 0, "earliest fault onset (simulated time)")
+		faultStag   = fs.Duration("fault-stagger", 0, "per-connector random onset jitter after -fault-from")
+		faultOutage = fs.Duration("fault-outage", 0, "per-connector outage window; 0 = faulty for the rest of the run")
+		mgrOutage   = fs.Duration("manager-outage", 0, "weak-liveness manager outage window starting at -fault-from")
 		workers     = fs.Int("workers", 0, "worker-pool size (0 = one per CPU)")
 		stream      = fs.Bool("stream", false, "bounded-memory streaming pipeline (aggregates only)")
 		exemplars   = fs.Int("exemplars", 10, "payments kept as a reservoir sample with -stream")
@@ -130,6 +144,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	w.Liquidity = *liquidity
 	w.QueuePatience = durToSim(*queue)
 	w.MaxQueue = *maxQueue
+	if *faultFrac > 0 || *mgrOutage > 0 {
+		w.Faults = xchainpay.TrafficFaultPlan{
+			Fraction:      *faultFrac,
+			From:          durToSim(*faultFrom),
+			Stagger:       durToSim(*faultStag),
+			Outage:        durToSim(*faultOutage),
+			ManagerOutage: durToSim(*mgrOutage),
+		}
+		if *faultBehav != "" {
+			w.Faults.Behaviours = strings.Split(*faultBehav, ",")
+		}
+	}
 	if *mix != "" {
 		w.Mix = nil
 		for _, pair := range strings.Split(*mix, ",") {
@@ -195,8 +221,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 			fmt.Fprintf(stdout, "=== %s ===\n%s", o.Point.Label, o.Result)
-			if o.Result.AuditErr != nil {
-				return 1
+			if bad := gate(stderr, o.Result); bad != 0 {
+				return bad
 			}
 		}
 		return cryptoGate()
@@ -211,11 +237,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, res.PaymentTable())
 	}
 	fmt.Fprint(stdout, res.String())
-	if res.AuditErr != nil || res.PendingLocks != 0 {
+	if bad := gate(stderr, res); bad != 0 {
+		return bad
+	}
+	return cryptoGate()
+}
+
+// gate enforces the aggregate oracles on a finished run: the ledger audit
+// and refund-cascade conservation, plus the Theorem-1/3 safety oracle (zero
+// owed safety-property failures at any load and any attacker fraction).
+func gate(stderr io.Writer, res *xchainpay.TrafficResult) int {
+	if res.AuditErr != nil || res.CascadeErr != nil || res.PendingLocks != 0 {
 		fmt.Fprintf(stderr, "xchain-traffic: liquidity ledgers inconsistent after the run\n")
 		return 1
 	}
-	return cryptoGate()
+	if res.SafetyViolations != 0 {
+		fmt.Fprintf(stderr, "xchain-traffic: %d safety violations for honest parties (the theorems forbid any)\n", res.SafetyViolations)
+		return 1
+	}
+	return 0
 }
 
 func durToSim(d time.Duration) sim.Time { return sim.Time(d / time.Microsecond) }

@@ -4,7 +4,7 @@
 // cross-chain deals, the related-work baselines, the cost scaling of all
 // protocols, the concurrent-traffic workloads of internal/traffic, and the
 // ablations called out in DESIGN.md. Each experiment is
-// addressable by its ID (E1..E10, A1..A3); cmd/xchain-bench prints the
+// addressable by its ID (E1..E11, A1..A3); cmd/xchain-bench prints the
 // tables, the root-level bench_test.go wraps them as Go benchmarks, and
 // EXPERIMENTS.md records the paper-vs-measured comparison.
 package bench
@@ -139,6 +139,7 @@ func All() []Experiment {
 		{ID: "E8", Title: "Cost scaling: messages, latency and ledger operations vs chain length", Run: RunE8},
 		{ID: "E9", Title: "Traffic: concurrent multi-payment workloads on a shared escrow chain", Run: RunE9},
 		{ID: "E10", Title: "Crypto backends: authentication microcosts and traffic wall-clock", Run: RunE10},
+		{ID: "E11", Title: "Byzantine traffic: measured attack damage vs attacker fraction", Run: RunE11},
 		{ID: "A1", Title: "Ablation: clock-drift fine-tuning of the timeout derivation", Run: RunA1},
 		{ID: "A2", Title: "Ablation: notary committee size and fault threshold", Run: RunA2},
 		{ID: "A3", Title: "Ablation: patience sensitivity of the weak-liveness protocol", Run: RunA3},

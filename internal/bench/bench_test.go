@@ -44,8 +44,8 @@ func TestConfigs(t *testing.T) {
 
 func TestByIDAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("expected 13 experiments (E1-E10, A1-A3), got %d", len(all))
+	if len(all) != 14 {
+		t.Fatalf("expected 14 experiments (E1-E11, A1-A3), got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -258,6 +258,59 @@ func TestRunE10CryptoBackends(t *testing.T) {
 	}
 	if !ok {
 		t.Fatalf("E10 backends disagreed on traffic aggregates:\n%s", tab.String())
+	}
+}
+
+func TestRunE11ByzantineTraffic(t *testing.T) {
+	tab := RunE11(tiny())
+	if len(tab.Rows) != 8 {
+		t.Fatalf("E11 produced %d rows, want 4 fractions x 2 loads", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		// The aggregate safety oracle: zero owed safety failures in every
+		// cell, at every attacker fraction and load.
+		if r[10] != "0" {
+			t.Errorf("E11 %s attacker=%s: %s safety violations", r[0], r[1], r[10])
+		}
+		if r[1] == "0.0%" {
+			if r[4] != "0.0%" || r[9] != "0.00" {
+				t.Errorf("E11 %s honest baseline reports Byzantine activity: %v", r[0], r)
+			}
+		} else if r[2] == "0" {
+			t.Errorf("E11 %s attacker=%s compiled no Byzantine connectors", r[0], r[1])
+		}
+	}
+	out := tab.String()
+	if strings.Contains(out, "AUDIT FAILED") || strings.Contains(out, "CASCADE FAILED") {
+		t.Fatalf("E11 conservation broken:\n%s", out)
+	}
+	if !strings.Contains(out, "zero owed safety-property failures") {
+		t.Fatalf("E11 safety oracle note missing:\n%s", out)
+	}
+	// The heaviest attack cell must show measurable damage. The open load is
+	// the clean damage reading (no capacity contention to hide behind):
+	// faulted payments exist and success degrades below the honest baseline.
+	var honest, attacked float64
+	for _, r := range tab.Rows {
+		if r[0] != "open" {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscan(strings.TrimSuffix(r[3], "%"), &v); err != nil {
+			t.Fatalf("cannot parse success rate %q", r[3])
+		}
+		if r[1] == "0.0%" {
+			honest = v
+		}
+		if r[1] == "25.0%" {
+			attacked = v
+			if r[4] == "0.0%" {
+				t.Errorf("E11 open attacker=25%%: no payment crossed a Byzantine connector")
+			}
+		}
+	}
+	if attacked >= honest {
+		t.Errorf("E11 open: 25%% attackers did not degrade success (%.1f%% vs honest %.1f%%)", attacked, honest)
 	}
 }
 

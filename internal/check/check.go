@@ -114,6 +114,24 @@ func (r Report) SafetyOK() bool {
 	return true
 }
 
+// SafetyFailures returns the safety properties (the SafetyOK set) that are
+// applicable but do not hold, in canonical order. The traffic engine's
+// aggregate oracle uses it to separate safety violations — owed to honest
+// parties in every execution — from liveness failures, which are expected
+// damage under faults.
+func (r Report) SafetyFailures() []core.Property {
+	var out []core.Property
+	for _, p := range []core.Property{
+		core.PropEscrowSecurity, core.PropCS1, core.PropCS2, core.PropCS3,
+		core.PropCertConsistency, core.PropConservation,
+	} {
+		if v, ok := r.Verdicts[p]; ok && !v.OK() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Failures returns the properties that are applicable but do not hold, in
 // canonical order.
 func (r Report) Failures() []core.Property {

@@ -107,6 +107,13 @@ type Ledger struct {
 	compact  bool
 	settled  int // settled locks forgotten under compaction
 
+	// byzOwners marks accounts currently controlled by Byzantine parties
+	// (see SetByzantine); byzEscrowed is the running total of value held in
+	// pending locks whose payer is marked — lock-and-abandon griefing made
+	// observable. Updated in O(1) per lock operation.
+	byzOwners   map[string]bool
+	byzEscrowed int64
+
 	// m holds optional instrumentation hooks (see SetMetrics); the zero
 	// value is muted and every update is an inlined nil no-op.
 	m Metrics
@@ -226,6 +233,10 @@ func (l *Ledger) CreateLock(at sim.Time, id, payer, payee string, amount int64, 
 	l.m.LocksCreated.Inc()
 	l.m.Available.Add(-float64(amount))
 	l.m.Escrowed.Add(float64(amount))
+	if l.byzOwners[payer] {
+		l.byzEscrowed += amount
+		l.m.ByzantineEscrowed.Add(float64(amount))
+	}
 	l.log(Op{At: at, Kind: OpLock, From: payer, To: payee, Amount: amount, LockID: id})
 	return lk, nil
 }
@@ -280,6 +291,10 @@ func (l *Ledger) Release(at sim.Time, id string, preimage []byte, localNow sim.T
 	l.m.LocksReleased.Inc()
 	l.m.Escrowed.Add(-float64(lk.Amount))
 	l.m.Available.Add(float64(lk.Amount))
+	if l.byzOwners[lk.Payer] {
+		l.byzEscrowed -= lk.Amount
+		l.m.ByzantineEscrowed.Add(-float64(lk.Amount))
+	}
 	l.log(Op{At: at, Kind: OpRelease, From: lk.Payer, To: lk.Payee, Amount: lk.Amount, LockID: id})
 	l.forget(id)
 	return nil
@@ -304,6 +319,10 @@ func (l *Ledger) Refund(at sim.Time, id string, localNow sim.Time) error {
 	l.m.LocksRefunded.Inc()
 	l.m.Escrowed.Add(-float64(lk.Amount))
 	l.m.Available.Add(float64(lk.Amount))
+	if l.byzOwners[lk.Payer] {
+		l.byzEscrowed -= lk.Amount
+		l.m.ByzantineEscrowed.Add(-float64(lk.Amount))
+	}
 	l.log(Op{At: at, Kind: OpRefund, From: lk.Payer, To: lk.Payer, Amount: lk.Amount, LockID: id})
 	l.forget(id)
 	return nil
@@ -344,6 +363,39 @@ func (l *Ledger) EscrowedTotal() int64 {
 	}
 	return total
 }
+
+// SetByzantine marks (or unmarks) owner's account as controlled by a
+// Byzantine party. Marking sweeps owner's currently pending locks into the
+// Byzantine-held total (O(pending locks)); from then on every lock
+// operation maintains it in O(1). Unmarking sweeps them back out.
+func (l *Ledger) SetByzantine(owner string, on bool) {
+	if l.byzOwners[owner] == on {
+		return
+	}
+	if l.byzOwners == nil {
+		l.byzOwners = map[string]bool{}
+	}
+	var held int64
+	for _, lk := range l.locks {
+		if lk.State == LockPending && lk.Payer == owner {
+			held += lk.Amount
+		}
+	}
+	if on {
+		l.byzOwners[owner] = true
+		l.byzEscrowed += held
+		l.m.ByzantineEscrowed.Add(float64(held))
+	} else {
+		delete(l.byzOwners, owner)
+		l.byzEscrowed -= held
+		l.m.ByzantineEscrowed.Add(-float64(held))
+	}
+}
+
+// ByzantineEscrowed returns the value currently held in pending locks whose
+// payer is marked Byzantine — the liquidity an attacker is griefing away
+// from honest payments.
+func (l *Ledger) ByzantineEscrowed() int64 { return l.byzEscrowed }
 
 // AccountsTotal returns the sum of available balances.
 func (l *Ledger) AccountsTotal() int64 {

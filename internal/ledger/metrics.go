@@ -20,6 +20,10 @@ const (
 	// MetricLiquidityEscrowed is the value currently held in pending locks
 	// of a ledger, labelled by ledger name.
 	MetricLiquidityEscrowed = "xchain_traffic_liquidity_escrowed_units"
+	// MetricLiquidityByzantine is the value currently held in pending locks
+	// whose payer is marked Byzantine (see Ledger.SetByzantine), labelled by
+	// ledger name — lock-and-abandon griefing observable per book.
+	MetricLiquidityByzantine = "xchain_traffic_liquidity_byzantine_units"
 )
 
 // Metrics holds a ledger's instrumentation hooks. The zero value is muted:
@@ -38,6 +42,10 @@ type Metrics struct {
 	// Refund move it back (to the payee resp. payer's available balance).
 	Available *metrics.Gauge
 	Escrowed  *metrics.Gauge
+	// ByzantineEscrowed tracks the slice of Escrowed whose payer is marked
+	// Byzantine (SetByzantine). Per-ledger, single-goroutine like the other
+	// liquidity gauges.
+	ByzantineEscrowed *metrics.Gauge
 }
 
 // MetricsFrom returns the shared lock/op counters registered on r, labelled

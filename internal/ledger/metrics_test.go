@@ -67,3 +67,68 @@ func TestLedgerMetrics(t *testing.T) {
 		t.Errorf("failed lock incremented counter: %d", got)
 	}
 }
+
+// SetByzantine sweeps pending locks into the Byzantine-held total when an
+// owner is marked, maintains it in O(1) through the lock lifecycle, keeps
+// the per-book gauge in sync, and sweeps back out on unmark.
+func TestLedgerByzantineHeld(t *testing.T) {
+	r := metrics.NewRegistry()
+	l := New("e1")
+	m := MetricsFrom(r, "traffic")
+	m.ByzantineEscrowed = r.Gauge(MetricLiquidityByzantine, "Byzantine-held.", "ledger", l.Name())
+	l.SetMetrics(m)
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(want int64) {
+		t.Helper()
+		if got := l.ByzantineEscrowed(); got != want {
+			t.Fatalf("ByzantineEscrowed() = %d, want %d", got, want)
+		}
+		if got := m.ByzantineEscrowed.Value(); got != float64(want) {
+			t.Fatalf("byzantine gauge = %v, want %d", got, want)
+		}
+	}
+
+	must(l.CreateAccount("mallory"))
+	must(l.CreateAccount("alice"))
+	must(l.CreateAccount("bob"))
+	must(l.Mint(0, "mallory", 1000))
+	must(l.Mint(0, "alice", 1000))
+
+	// A pending lock created before the mark is swept in by SetByzantine.
+	_, err := l.CreateLock(1, "pre", "mallory", "bob", 300, Condition{})
+	must(err)
+	check(0)
+	l.SetByzantine("mallory", true)
+	check(300)
+	l.SetByzantine("mallory", true) // idempotent: no double count
+	check(300)
+
+	// Locks created while marked join the total in O(1); honest owners never do.
+	_, err = l.CreateLock(2, "during", "mallory", "bob", 200, Condition{})
+	must(err)
+	_, err = l.CreateLock(3, "honest", "alice", "bob", 400, Condition{})
+	must(err)
+	check(500)
+
+	// Release and refund both drain the Byzantine share as locks settle.
+	must(l.Release(4, "pre", nil, 4))
+	check(200)
+	must(l.Refund(5, "during", 5))
+	check(0)
+
+	// Unmarking sweeps remaining pending locks back out.
+	_, err = l.CreateLock(6, "late", "mallory", "bob", 150, Condition{})
+	must(err)
+	check(150)
+	l.SetByzantine("mallory", false)
+	check(0)
+	if got := l.EscrowedTotal(); got != 550 {
+		t.Fatalf("EscrowedTotal() = %d, want 550 (marking must not move balances)", got)
+	}
+}

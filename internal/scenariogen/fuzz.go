@@ -25,8 +25,10 @@ type Options struct {
 	// (0 = 16); counting continues.
 	MaxFailures int
 	// Crypto names the signature backend every generated scenario runs with
-	// ("" = ed25519). Oracles are backend-independent, so a campaign under
-	// "hmac" judges identical verdicts at a fraction of the CPU cost.
+	// ("" keeps each spec's generated backend: ed25519 for single-payment
+	// scenarios, hmac for traffic populations). Oracles are
+	// backend-independent, so a campaign under "hmac" judges identical
+	// verdicts at a fraction of the CPU cost.
 	Crypto string
 }
 
@@ -110,7 +112,9 @@ func Fuzz(opts Options) *Stats {
 			defer wg.Done()
 			for i := range next {
 				sp := Generate(opts.StartSeed + int64(i))
-				sp.Crypto = opts.Crypto
+				if opts.Crypto != "" {
+					sp.Crypto = opts.Crypto
+				}
 				if len(allowed) > 0 && !allowed[sp.Family] {
 					continue
 				}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/sim"
 	"repro/internal/timelock"
+	"repro/internal/traffic"
 )
 
 // Generate derives a scenario from a single seed. It is a pure function of
@@ -46,6 +47,9 @@ func Generate(seed int64) Spec {
 	sp.Net.Min = 1 + sim.Time(rng.Int63n(int64(sp.Timing.Delta/2)))
 
 	switch {
+	case sp.Family == FamTraffic:
+		genTraffic(rng, &sp, shape.violating)
+		return sp
 	case sp.isDeal():
 		genDealFaults(rng, &sp)
 		if sp.Family == FamDealCertified {
@@ -100,6 +104,8 @@ func pickShape(rng *rand.Rand) shape {
 		{shape{FamWeaklive, true}, 5},
 		{shape{FamCommittee, true}, 2},
 		{shape{FamDealCertified, true}, 2},
+		{shape{FamTraffic, false}, 4},
+		{shape{FamTraffic, true}, 3},
 	}
 	total := 0
 	for _, e := range table {
@@ -113,6 +119,45 @@ func pickShape(rng *rand.Rand) shape {
 		pick -= e.w
 	}
 	return table[0].shape
+}
+
+// genTraffic rewrites the spec into a traffic-family scenario: a longer
+// chain, modest amounts (liquidity endowments scale with Base), a Poisson
+// population, and — for the violating class — a Byzantine fault plan rather
+// than an envelope-violating schedule. Traffic specs always run the hmac
+// backend: verdicts are backend-independent (the crypto-differential
+// regressions pin that), and a whole population per seed makes the cheap
+// backend the only sane campaign default.
+func genTraffic(rng *rand.Rand, sp *Spec, violating bool) {
+	sp.N = 3 + rng.Intn(6)
+	sp.Base = 1 + rng.Int63n(500)
+	sp.Crypto = "hmac"
+	ts := &TrafficSpec{
+		Payments: 24 + rng.Intn(96),
+		Rate:     float64(200 + rng.Intn(600)),
+		SubPaths: rng.Intn(2) == 0,
+	}
+	if rng.Intn(2) == 0 {
+		// Bounded liquidity with an admission queue: capacity-caused drops
+		// are legitimate in both classes, only the safety oracle is strict.
+		ts.Liquidity = (sp.Base + sp.Commission*int64(sp.N)) * int64(2+rng.Intn(6))
+		ts.QueuePatience = sim.Time(200+rng.Intn(1800)) * sim.Millisecond
+	}
+	if violating {
+		ts.FaultFraction = []float64{0.25, 0.34, 0.5}[rng.Intn(3)]
+		if rng.Intn(2) == 0 {
+			behavs := traffic.DefaultFaultBehaviours()
+			ts.FaultBehaviours = []string{behavs[rng.Intn(len(behavs))]}
+		}
+		if rng.Intn(2) == 0 {
+			ts.FaultFrom = sim.Time(rng.Intn(100)) * sim.Millisecond
+			ts.FaultOutage = sim.Time(100+rng.Intn(400)) * sim.Millisecond
+		}
+		if rng.Intn(3) == 0 {
+			ts.ManagerOutage = sim.Time(100+rng.Intn(300)) * sim.Millisecond
+		}
+	}
+	sp.Traffic = ts
 }
 
 // genFaults places up to two faults on chain participants, drawn from the

@@ -9,6 +9,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/timelock"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // Horizon caps how long "eventually" is allowed to take in an
@@ -36,6 +37,11 @@ const (
 	// KindDeal: a deal-protocol guarantee (safety, termination, strong
 	// liveness, conservation) failed when owed.
 	KindDeal ViolationKind = "deal"
+	// KindTraffic: the aggregate traffic oracle failed — a safety-property
+	// violation for an honest party, a ledger audit or refund-cascade
+	// accounting error, an unsettled lock, or dropped payments in a
+	// conforming run whose liquidity was auto-sized to make drops impossible.
+	KindTraffic ViolationKind = "traffic"
 )
 
 // Violation is one oracle failure: an invariant the paper (or the engine
@@ -74,10 +80,17 @@ type Outcome struct {
 	BobPaid  bool     `json:"bobPaid,omitempty"`
 	Duration sim.Time `json:"duration,omitempty"`
 	// Events and TraceLen fingerprint the run (fired simulation events and
-	// recorded trace length; message count for deal runs) so determinism
-	// comparisons catch drift that leaves duration and outcome unchanged.
+	// recorded trace length; message count for deal runs; total event count
+	// and population size for traffic runs) so determinism comparisons catch
+	// drift that leaves duration and outcome unchanged.
 	Events   uint64 `json:"events,omitempty"`
 	TraceLen int    `json:"traceLen,omitempty"`
+	// TrafficFaulted and TrafficFailed summarise a traffic run's attack
+	// footprint: payments whose sub-scenario contained a Byzantine
+	// participant, and payments that were admitted but failed. A griefing
+	// counterexample is a run with both positive and zero Violations.
+	TrafficFaulted int `json:"trafficFaulted,omitempty"`
+	TrafficFailed  int `json:"trafficFailed,omitempty"`
 }
 
 // OK reports whether the run honoured every owed invariant.
@@ -186,8 +199,78 @@ func Run(sp Spec) *Outcome {
 		runDeal(sp, out)
 		return out
 	}
+	if sp.Family == FamTraffic {
+		runTraffic(sp, out)
+		return out
+	}
 	runPayment(sp, out)
 	return out
+}
+
+// runTraffic executes and judges a traffic-family spec: a whole payment
+// population on one chain, under the spec's Byzantine fault plan. The oracle
+// is the aggregate form of the theorems — zero safety-property failures for
+// honest parties at any load and any attacker fraction, every ledger audit
+// and the refund-cascade accounting clean, no lock left unsettled — plus the
+// engine's own determinism contract: a streaming multi-worker run must be
+// byte-identical to the serial materialised run.
+func runTraffic(sp Spec, out *Outcome) {
+	s, err := sp.Scenario()
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: err.Error()})
+		return
+	}
+	w, err := sp.TrafficWorkload()
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: err.Error()})
+		return
+	}
+	mat, err := traffic.RunWith(s, w, traffic.Config{Workers: 1})
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: err.Error()})
+		return
+	}
+	out.Protocol = "traffic"
+	out.BobPaid = mat.Succeeded > 0
+	out.Duration = mat.Makespan
+	out.Events = mat.SubEventsFired + mat.TimelineEvents
+	out.TraceLen = mat.Total
+	out.TrafficFaulted = mat.FaultedPayments
+	out.TrafficFailed = mat.Failed + mat.Dropped + mat.Rejected + mat.Errored
+
+	if mat.SafetyViolations > 0 {
+		detail := fmt.Sprintf("%d safety-property failures for honest parties", mat.SafetyViolations)
+		if len(mat.SafetySample) > 0 {
+			detail += ": " + mat.SafetySample[0]
+		}
+		out.Violations = append(out.Violations, Violation{Kind: KindTraffic, Detail: detail})
+	}
+	if mat.AuditErr != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindTraffic, Detail: "ledger audit: " + mat.AuditErr.Error()})
+	}
+	if mat.CascadeErr != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindTraffic, Detail: "refund cascade: " + mat.CascadeErr.Error()})
+	}
+	if mat.PendingLocks != 0 {
+		out.Violations = append(out.Violations, Violation{Kind: KindTraffic, Detail: fmt.Sprintf("%d locks never settled", mat.PendingLocks)})
+	}
+	if out.Class == ClassConforming && sp.Traffic.Liquidity == 0 && mat.Succeeded != mat.Total {
+		out.Violations = append(out.Violations, Violation{
+			Kind:   KindTraffic,
+			Detail: fmt.Sprintf("honest traffic with auto-sized liquidity settled %d of %d payments", mat.Succeeded, mat.Total),
+		})
+	}
+	str, err := traffic.RunWith(s, w, traffic.Config{Workers: 4, Stream: true, KeepPayments: true})
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindDeterminism, Detail: "streaming rerun errored: " + err.Error()})
+		return
+	}
+	if mat.String() != str.String() {
+		out.Violations = append(out.Violations, Violation{
+			Kind:   KindDeterminism,
+			Detail: "streaming 4-worker run diverged from the serial materialised run",
+		})
+	}
 }
 
 // runPayment executes and judges a payment-family spec.

@@ -270,6 +270,81 @@ func TestOracleDeterminismSampling(t *testing.T) {
 	}
 }
 
+// trafficSpec returns a deterministic traffic-family spec for oracle tests.
+func trafficSpec() Spec {
+	return Spec{
+		Seed:       9,
+		Family:     FamTraffic,
+		N:          5,
+		Base:       120,
+		Commission: 1,
+		Timing:     TimingSpec{Delta: 20 * sim.Millisecond, Processing: sim.Millisecond, Rho: 1e-4, Offset: 5 * sim.Millisecond},
+		Net:        NetworkSpec{Kind: NetSynchronous, Min: 1},
+		Crypto:     "hmac",
+		Traffic:    &TrafficSpec{Payments: 60, Rate: 400, SubPaths: true},
+	}
+}
+
+func TestOracleTrafficHonestConforming(t *testing.T) {
+	sp := trafficSpec()
+	out := Run(sp)
+	if out.Class != ClassConforming {
+		t.Fatalf("honest traffic classified %s", out.Class)
+	}
+	if !out.OK() {
+		t.Fatalf("honest traffic violated the aggregate oracle: %v", out.Violations)
+	}
+	if out.Protocol != "traffic" || !out.BobPaid || out.TraceLen != 60 {
+		t.Fatalf("traffic fingerprint wrong: protocol=%q bobPaid=%v traceLen=%d", out.Protocol, out.BobPaid, out.TraceLen)
+	}
+	if out.TrafficFaulted != 0 || out.TrafficFailed != 0 {
+		t.Fatalf("honest traffic reported attack footprint: faulted=%d failed=%d", out.TrafficFaulted, out.TrafficFailed)
+	}
+}
+
+func TestOracleTrafficByzantineKeepsAggregateSafety(t *testing.T) {
+	sp := trafficSpec()
+	sp.Traffic.FaultFraction = 0.5
+	out := Run(sp)
+	if out.Class != ClassViolating {
+		t.Fatalf("Byzantine traffic classified %s", out.Class)
+	}
+	if !out.OK() {
+		t.Fatalf("aggregate safety oracle violated under a 50%% attacker fraction: %v", out.Violations)
+	}
+	if out.TrafficFaulted == 0 {
+		t.Fatal("fault plan never touched a payment")
+	}
+	if out.TrafficFailed == 0 {
+		t.Fatal("a 50% Byzantine chain did no measurable damage")
+	}
+	if !out.BobPaid {
+		t.Fatal("no payment settled at all — the attack should grief, not halt the chain")
+	}
+}
+
+func TestTrafficSpecValidation(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"missing traffic block": func(sp *Spec) { sp.Traffic = nil },
+		"zero payments":         func(sp *Spec) { sp.Traffic.Payments = 0 },
+		"zero rate":             func(sp *Spec) { sp.Traffic.Rate = 0 },
+		"negative liquidity":    func(sp *Spec) { sp.Traffic.Liquidity = -1 },
+		"bad fraction":          func(sp *Spec) { sp.Traffic.FaultFraction = 1.5 },
+		"bad behaviour":         func(sp *Spec) { sp.Traffic.FaultBehaviours = []string{"nope"} },
+		"traffic on timelock":   func(sp *Spec) { sp.Family = FamTimelock },
+	}
+	for name, mutate := range cases {
+		sp := trafficSpec()
+		mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the spec", name)
+		}
+	}
+	if err := trafficSpec().Validate(); err != nil {
+		t.Fatalf("valid traffic spec rejected: %v", err)
+	}
+}
+
 func TestFuzzAggregationDeterministicAcrossWorkers(t *testing.T) {
 	opts := Options{Seeds: 60, StartSeed: 100}
 	opts.Workers = 1

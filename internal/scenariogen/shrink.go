@@ -108,6 +108,21 @@ func (sp Spec) size() int64 {
 	if sp.TimeoutScale > 1 {
 		s += int64(sp.TimeoutScale)
 	}
+	if t := sp.Traffic; t != nil {
+		s += int64(t.Payments) * 1_000
+		s += int64(len(t.FaultBehaviours)) * 50
+		s += ilog2(int64(t.FaultFrom)+int64(t.FaultOutage)+int64(t.ManagerOutage)) * 20
+		s += ilog2(int64(t.QueuePatience)) * 4
+		if t.FaultFraction > 0 {
+			s += 500
+		}
+		if t.SubPaths {
+			s += 10
+		}
+		if t.Liquidity > 0 {
+			s += 10
+		}
+	}
 	return s
 }
 
@@ -192,6 +207,38 @@ func candidates(sp Spec) []Spec {
 	if sp.Net.Min > 1 {
 		add(func(c *Spec) { c.Net.Min = 1 })
 	}
+	if t := sp.Traffic; t != nil {
+		for _, p := range []int{1, t.Payments / 10, t.Payments / 2} {
+			if p >= 1 && p < t.Payments {
+				p := p
+				add(func(c *Spec) { c.Traffic.Payments = p })
+			}
+		}
+		if t.FaultFraction > 0 {
+			add(func(c *Spec) {
+				c.Traffic.FaultFraction = 0
+				c.Traffic.FaultBehaviours = nil
+				c.Traffic.FaultFrom, c.Traffic.FaultOutage = 0, 0
+			})
+		}
+		if len(t.FaultBehaviours) > 1 {
+			add(func(c *Spec) {
+				c.Traffic.FaultBehaviours = c.Traffic.FaultBehaviours[:len(c.Traffic.FaultBehaviours)-1]
+			})
+		}
+		if t.FaultFrom > 0 || t.FaultOutage > 0 {
+			add(func(c *Spec) { c.Traffic.FaultFrom, c.Traffic.FaultOutage = 0, 0 })
+		}
+		if t.ManagerOutage > 0 {
+			add(func(c *Spec) { c.Traffic.ManagerOutage = 0 })
+		}
+		if t.SubPaths {
+			add(func(c *Spec) { c.Traffic.SubPaths = false })
+		}
+		if t.Liquidity > 0 {
+			add(func(c *Spec) { c.Traffic.Liquidity, c.Traffic.QueuePatience = 0, 0 })
+		}
+	}
 	return out
 }
 
@@ -244,6 +291,13 @@ func (sp Spec) clone() Spec {
 		for k, v := range sp.Patience {
 			c.Patience[k] = v
 		}
+	}
+	if sp.Traffic != nil {
+		t := *sp.Traffic
+		if sp.Traffic.FaultBehaviours != nil {
+			t.FaultBehaviours = append([]string(nil), sp.Traffic.FaultBehaviours...)
+		}
+		c.Traffic = &t
 	}
 	return c
 }

@@ -54,6 +54,60 @@ func TestShrinkMinimisesTheorem2Counterexample(t *testing.T) {
 	}
 }
 
+func TestShrinkTrafficGriefingCounterexample(t *testing.T) {
+	// A fat Byzantine traffic scenario: many payments, a staggered recovery
+	// window, an extra behaviour catalogue, bounded liquidity. The shrinker
+	// must reduce it while an attacked payment keeps failing — with zero
+	// safety violations — and the connector fraction must survive (the keep
+	// predicate pins it, mirroring how the committed corpus entry was built).
+	sp := Spec{
+		Seed:       141,
+		Family:     FamTraffic,
+		N:          6,
+		Base:       477,
+		Commission: 29,
+		Timing:     TimingSpec{Delta: 50 * sim.Millisecond, Processing: sim.Millisecond, Rho: 1e-4, Offset: 3 * sim.Millisecond},
+		Net:        NetworkSpec{Kind: NetSynchronous, Min: 10 * sim.Millisecond},
+		Crypto:     "hmac",
+		Traffic: &TrafficSpec{
+			Payments:        48,
+			Rate:            300,
+			SubPaths:        true,
+			Liquidity:       4000,
+			QueuePatience:   800 * sim.Millisecond,
+			FaultFraction:   0.5,
+			FaultBehaviours: []string{"silent", "withhold"},
+			FaultFrom:       10 * sim.Millisecond,
+			FaultOutage:     2 * sim.Second,
+		},
+	}
+	keep := func(o *Outcome) bool {
+		return o.OK() && o.Class == ClassViolating &&
+			o.Spec.Traffic != nil && o.Spec.Traffic.FaultFraction > 0 &&
+			o.TrafficFaulted > 0 && o.TrafficFailed > 0
+	}
+	res := Shrink(sp, keep, 0)
+	if res.Accepted == 0 {
+		t.Fatalf("shrinker accepted no reduction (tried %d)", res.Tried)
+	}
+	if res.Spec.Traffic == nil || res.Spec.Traffic.FaultFraction == 0 {
+		t.Fatal("shrinker dropped the pinned connector fraction")
+	}
+	if res.Spec.Traffic.Payments >= sp.Traffic.Payments {
+		t.Errorf("population not reduced: %d", res.Spec.Traffic.Payments)
+	}
+	if res.Spec.size() >= sp.size() {
+		t.Errorf("shrunk size %d not below original %d", res.Spec.size(), sp.size())
+	}
+	if !keep(res.Outcome) {
+		t.Fatalf("shrunk scenario lost the griefing: %+v", res.Outcome)
+	}
+	// The original spec must not have been mutated through aliased pointers.
+	if sp.Traffic.Payments != 48 || sp.Traffic.FaultFraction != 0.5 || len(sp.Traffic.FaultBehaviours) != 2 {
+		t.Fatalf("shrink mutated the original traffic spec: %+v", sp.Traffic)
+	}
+}
+
 func TestShrinkRefusesNonFailingBaseline(t *testing.T) {
 	sp := baseSpec(FamTimelock)
 	res := Shrink(sp, KeepExpectedFailure(core.PropTermination), 0)

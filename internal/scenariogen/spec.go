@@ -29,6 +29,7 @@ import (
 	"repro/internal/sig"
 	"repro/internal/sim"
 	"repro/internal/timelock"
+	"repro/internal/traffic"
 	"repro/internal/weaklive"
 )
 
@@ -50,13 +51,17 @@ const (
 	FamDifferential  Family = "differential"
 	FamDealTimelock  Family = "deal-timelock"
 	FamDealCertified Family = "deal-certified"
+	// FamTraffic runs a whole internal/traffic population — many concurrent
+	// payments on one shared chain, optionally under a Byzantine fault plan —
+	// and judges the aggregate safety oracle instead of one payment's report.
+	FamTraffic Family = "traffic"
 )
 
 // AllFamilies lists every family in canonical order.
 func AllFamilies() []Family {
 	return []Family{
 		FamTimelock, FamANTA, FamNaive, FamHTLC, FamWeaklive, FamCommittee,
-		FamDifferential, FamDealTimelock, FamDealCertified,
+		FamDifferential, FamDealTimelock, FamDealCertified, FamTraffic,
 	}
 }
 
@@ -116,6 +121,45 @@ func (t TimingSpec) Timing() core.Timing {
 	}
 }
 
+// TrafficSpec parametrises a FamTraffic scenario: the offered payment
+// population and the Byzantine fault plan it runs under. Like everything else
+// in a Spec it is fully serialisable; the traffic engine's determinism
+// contract (byte-identical results across worker counts and streaming versus
+// materialised execution) makes the whole run a pure function of the Spec.
+type TrafficSpec struct {
+	// Payments is the population size; Rate the Poisson arrival rate per
+	// simulated second.
+	Payments int     `json:"payments"`
+	Rate     float64 `json:"rate"`
+	// SubPaths routes payments between random customer pairs instead of
+	// always Alice -> Bob, so a partial attacker fraction is meaningful.
+	SubPaths bool `json:"subPaths,omitempty"`
+	// Liquidity bounds each traffic ledger's per-customer endowment (0 =
+	// auto-sized so capacity never rejects a payment); QueuePatience lets
+	// blocked payments queue instead of failing immediately.
+	Liquidity     int64    `json:"liquidity,omitempty"`
+	QueuePatience sim.Time `json:"queuePatience,omitempty"`
+	// FaultFraction, FaultBehaviours, FaultFrom, FaultOutage and
+	// ManagerOutage translate directly to a traffic.FaultPlan. A zero
+	// FaultFraction with zero ManagerOutage is an honest run.
+	FaultFraction   float64  `json:"faultFraction,omitempty"`
+	FaultBehaviours []string `json:"faultBehaviours,omitempty"`
+	FaultFrom       sim.Time `json:"faultFrom,omitempty"`
+	FaultOutage     sim.Time `json:"faultOutage,omitempty"`
+	ManagerOutage   sim.Time `json:"managerOutage,omitempty"`
+}
+
+// plan translates the traffic spec's fault fields to a traffic.FaultPlan.
+func (ts *TrafficSpec) plan() traffic.FaultPlan {
+	return traffic.FaultPlan{
+		Fraction:      ts.FaultFraction,
+		Behaviours:    ts.FaultBehaviours,
+		From:          ts.FaultFrom,
+		Outage:        ts.FaultOutage,
+		ManagerOutage: ts.ManagerOutage,
+	}
+}
+
 // Spec is a fully serialisable scenario: everything needed to reconstruct
 // and re-run one protocol execution byte-identically. Generate derives a Spec
 // from a seed; replay files persist them as JSON.
@@ -150,6 +194,9 @@ type Spec struct {
 	// verdicts are provably independent of it — the backend-differential
 	// regression asserts exactly that.
 	Crypto string `json:"crypto,omitempty"`
+	// Traffic is the payment population of a FamTraffic spec; nil (and
+	// required to be nil) for every other family.
+	Traffic *TrafficSpec `json:"traffic,omitempty"`
 }
 
 // Validate checks that the spec is structurally sound and all names resolve.
@@ -189,6 +236,26 @@ func (sp Spec) Validate() error {
 	}
 	if _, ok := sig.BackendByName(sp.Crypto); !ok {
 		return fmt.Errorf("scenariogen: unknown crypto backend %q (have %v)", sp.Crypto, sig.BackendNames())
+	}
+	if sp.Family == FamTraffic {
+		ts := sp.Traffic
+		if ts == nil {
+			return fmt.Errorf("scenariogen: traffic family needs a traffic block")
+		}
+		if ts.Payments < 1 {
+			return fmt.Errorf("scenariogen: traffic needs at least one payment, got %d", ts.Payments)
+		}
+		if ts.Rate <= 0 {
+			return fmt.Errorf("scenariogen: non-positive traffic arrival rate %v", ts.Rate)
+		}
+		if ts.Liquidity < 0 || ts.QueuePatience < 0 {
+			return fmt.Errorf("scenariogen: negative traffic liquidity or queue patience")
+		}
+		if err := ts.plan().Validate(core.NewTopology(sp.N)); err != nil {
+			return fmt.Errorf("scenariogen: %w", err)
+		}
+	} else if sp.Traffic != nil {
+		return fmt.Errorf("scenariogen: family %s does not take a traffic block", sp.Family)
 	}
 	return nil
 }
@@ -371,6 +438,34 @@ func (sp Spec) DealConfig() (deals.Config, error) {
 	return cfg, nil
 }
 
+// TrafficWorkload materialises the traffic workload of a FamTraffic spec:
+// Poisson arrivals at Traffic.Rate, fixed amounts of Base with the spec's
+// Commission, a mixed protocol population (timeout-protocol, weak-liveness
+// and the HTLC baseline), and the spec's fault plan.
+func (sp Spec) TrafficWorkload() (traffic.Workload, error) {
+	if err := sp.Validate(); err != nil {
+		return traffic.Workload{}, err
+	}
+	if sp.Family != FamTraffic {
+		return traffic.Workload{}, fmt.Errorf("scenariogen: %s is not the traffic family", sp.Family)
+	}
+	ts := sp.Traffic
+	w := traffic.NewWorkload(ts.Payments)
+	w.Arrival = traffic.Arrival{Kind: traffic.ArrivalPoisson, Rate: ts.Rate}
+	w.Amounts = traffic.AmountDist{Kind: traffic.AmountFixed, Base: sp.Base}
+	w.Commission = sp.Commission
+	w = w.WithMix(
+		traffic.ProtocolShare{Name: "timelock", Weight: 0.4},
+		traffic.ProtocolShare{Name: "weaklive", Weight: 0.3},
+		traffic.ProtocolShare{Name: "htlc", Weight: 0.3},
+	)
+	w.RandomSubPaths = ts.SubPaths
+	w.Liquidity = ts.Liquidity
+	w.QueuePatience = ts.QueuePatience
+	w.Faults = ts.plan()
+	return w, nil
+}
+
 // Class partitions scenarios by whether they satisfy the preconditions of
 // the theorem covering their protocol.
 type Class string
@@ -391,6 +486,12 @@ func maxNotaryFaults(size int) int { return (size - 1) / 3 }
 // Class derives the spec's class from its content (never stored, so shrinker
 // mutations and hand-edited replays classify consistently).
 func (sp Spec) Class() Class {
+	if sp.Family == FamTraffic && sp.Traffic != nil && sp.Traffic.plan().Enabled() {
+		// A live fault plan breaks the connectors' (or the manager's) trust
+		// assumptions: liveness damage is the expected outcome, and only the
+		// aggregate safety oracle stays owed.
+		return ClassViolating
+	}
 	if sp.Net.Kind != NetSynchronous {
 		return ClassViolating
 	}
@@ -520,6 +621,15 @@ func (sp Spec) Describe() string {
 			parts = append(parts, id+"="+sp.Faults[id])
 		}
 		fmt.Fprintf(&b, " faults=%s", strings.Join(parts, ","))
+	}
+	if ts := sp.Traffic; ts != nil {
+		fmt.Fprintf(&b, " traffic=%d@%g/s", ts.Payments, ts.Rate)
+		if ts.FaultFraction > 0 {
+			fmt.Fprintf(&b, " byz=%.0f%%", ts.FaultFraction*100)
+		}
+		if ts.ManagerOutage > 0 {
+			fmt.Fprintf(&b, " mgr-outage=%v", ts.ManagerOutage)
+		}
 	}
 	return b.String()
 }

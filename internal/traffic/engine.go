@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/htlc"
 	"repro/internal/ledger"
@@ -86,17 +87,87 @@ type subOutcome struct {
 	duration sim.Time
 	events   uint64
 	err      error
+	// byz reports whether the payment's sub-scenario contained any Byzantine
+	// participant (static fault, injected plan fault, or manager outage).
+	byz bool
+	// safety lists the safety-property failures of the sub-run, already
+	// formatted for Result.SafetySample. Theorems 1 and 3 owe safety to
+	// honest parties in every execution, so any entry here is an aggregate
+	// oracle violation — liveness failures under faults are expected damage
+	// and are never listed.
+	safety []string
 }
 
-// simulateOne runs one payment's protocol simulation; a pure function of
-// (base scenario, payment, registry).
-func simulateOne(base core.Scenario, p *payment, registry map[string]core.Protocol) subOutcome {
-	sub := subScenario(base, p)
-	r, err := registry[p.Protocol].Run(sub)
-	if err != nil {
-		return subOutcome{err: err}
+// simulateOne runs one payment's protocol simulation and evaluates the
+// theorem-shaped safety checkers on its result; a pure function of
+// (base scenario, compiled plan, payment, registry).
+func simulateOne(base core.Scenario, plan *compiledPlan, p *payment, registry map[string]core.Protocol) subOutcome {
+	sub := subScenario(base, plan, p)
+	proto := registry[p.Protocol]
+	_, manager := proto.(*weaklive.Protocol)
+	if plan != nil && manager && plan.managerActive(p.Arrival) {
+		if !sub.FaultOf(core.ManagerID).IsByzantine() {
+			sub = sub.SetFault(core.ManagerID, plan.manager.spec)
+		}
 	}
-	return subOutcome{paid: r.BobPaid, duration: r.Duration, events: r.EventsFired}
+	byz := len(sub.Faults) > 0
+	r, err := proto.Run(sub)
+	if err != nil {
+		return subOutcome{err: err, byz: byz}
+	}
+	out := subOutcome{paid: r.BobPaid, duration: r.Duration, events: r.EventsFired, byz: byz}
+	// Aggregate safety oracle: every sub-run — honest or faulted — must
+	// satisfy the safety half of Definition 1/2 (escrow security, the
+	// customer-safety triple, certificate consistency for manager-based
+	// protocols, conservation) wherever it is owed.
+	opts := check.Def1Eventual()
+	if manager {
+		opts = check.Def2(0)
+	}
+	rep := check.Evaluate(r, opts)
+	for _, prop := range rep.SafetyFailures() {
+		if !safetyOwed(prop, proto, sub, byz) {
+			continue
+		}
+		out.safety = append(out.safety,
+			fmt.Sprintf("%s %s (%s): %s", p.ID, prop, p.Protocol, rep.Verdict(prop).Detail))
+	}
+	return out
+}
+
+// safetyOwed mirrors internal/scenariogen's owed-property rules on the
+// traffic oracle: a safety failure only counts as a violation when the
+// theorems actually owe the property under the sub-run's fault assignment.
+//   - HTLC never owes CS1 (its documented gap: Alice pays without ever
+//     receiving a transferable certificate), and on a Byzantine path only the
+//     unconditional core {ES, CS3, CV} is owed (late claims surface as
+//     refunds of a revealed preimage, which reads as a CS2 failure).
+//   - Timeout-family protocols owe everything in honest runs; on a Byzantine
+//     path CS2 joins Theorem 2's defeatable set {T, L, CS2}.
+//   - Weak-liveness protocols owe the full customer-safety triple even on a
+//     Byzantine path (Theorem 3's content); CC is exactly the manager's
+//     agreement and is owed only while the manager trust assumption stands.
+func safetyOwed(prop core.Property, proto core.Protocol, sub core.Scenario, byz bool) bool {
+	switch prop {
+	case core.PropEscrowSecurity, core.PropCS3, core.PropConservation:
+		return true // unconditional safety core, owed in every execution
+	}
+	if _, htlcBaseline := proto.(*htlc.Protocol); htlcBaseline {
+		if prop == core.PropCS1 {
+			return false
+		}
+		return !byz
+	}
+	if _, manager := proto.(*weaklive.Protocol); manager {
+		if prop == core.PropCertConsistency {
+			return !sub.FaultOf(core.ManagerID).IsByzantine()
+		}
+		return true
+	}
+	if prop == core.PropCS2 {
+		return !byz
+	}
+	return true
 }
 
 // Run executes the workload against the scenario's chain with the default
@@ -181,10 +252,16 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 	}
 	rm := NewRunMetrics(s.Metrics)
 
+	// The fault plan compiles once, up front, into an immutable schedule all
+	// workers read: which connectors are Byzantine, with which behaviour,
+	// over which windows. A nil plan is the honest fast path.
+	plan := w.Faults.compile(s)
+
 	res := &Result{
-		Chain:    s.Topology.N,
-		Seed:     s.Seed,
-		Workload: w,
+		Chain:               s.Topology.N,
+		Seed:                s.Seed,
+		Workload:            w,
+		ByzantineConnectors: plan.connectors(),
 	}
 	if cfg.keep() {
 		res.Payments = make([]PaymentResult, w.Payments)
@@ -198,14 +275,14 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 			// dedicated generator pass computes it in O(topology) memory.
 			demand = w.demand(s)
 		}
-		src = newStreamSource(s, w, registry, cfg.workers(), rm)
+		src = newStreamSource(s, w, plan, registry, cfg.workers(), rm)
 	} else {
 		payments := w.generate(s)
 		rm.Generated.Add(uint64(len(payments)))
 		if w.Liquidity <= 0 {
 			demand = demandOf(payments)
 		}
-		subs := simulatePayments(s, payments, registry, cfg.workers(), rm)
+		subs := simulatePayments(s, plan, payments, registry, cfg.workers(), rm)
 		src = &sliceSource{pays: payments, subs: subs}
 	}
 	res.Book = newLiquidityBook(s, w, demand)
@@ -214,7 +291,7 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 	if !cfg.keep() {
 		exemplars = cfg.Exemplars
 	}
-	executeTimeline(res, src, w, cfg.keep(), exemplars, s.Metrics, rm)
+	executeTimeline(res, src, w, plan, cfg.keep(), exemplars, s.Metrics, rm)
 	return res, nil
 }
 
@@ -222,7 +299,7 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 // finalises every aggregate of res. The timeline's engine is the run's
 // authoritative virtual clock, so it (and only it) carries the virtual-time
 // watermark gauge.
-func executeTimeline(res *Result, src paymentSource, w Workload, keep bool, exemplars int, reg *metrics.Registry, rm RunMetrics) {
+func executeTimeline(res *Result, src paymentSource, w Workload, plan *compiledPlan, keep bool, exemplars int, reg *metrics.Registry, rm RunMetrics) {
 	agg := newAggregator(res, keep, exemplars)
 	agg.m = rm
 	tl := &timeline{
@@ -230,6 +307,7 @@ func executeTimeline(res *Result, src paymentSource, w Workload, keep bool, exem
 		res:  res,
 		agg:  agg,
 		w:    w,
+		plan: plan,
 		book: res.Book,
 		m:    rm,
 	}
@@ -238,8 +316,14 @@ func executeTimeline(res *Result, src paymentSource, w Workload, keep bool, exem
 		em.Watermark = reg.Gauge(sim.MetricVirtualTimeMs, "Virtual time of the traffic admission timeline in milliseconds.")
 	}
 	tl.eng.SetMetrics(em)
+	tl.scheduleMarks()
 	tl.run(src)
 	res.TimelineEvents = tl.fired
+	// Refund-cascade accounting: every unit the timeline ever locked must
+	// have been released or refunded exactly once by the end of the run.
+	if res.CascadeErr == nil && tl.lockedNow != 0 {
+		res.CascadeErr = fmt.Errorf("traffic: %d units still locked after the last settlement", tl.lockedNow)
+	}
 	agg.finalize(res)
 }
 
@@ -292,7 +376,7 @@ type streamSource struct {
 	m       RunMetrics
 }
 
-func newStreamSource(s core.Scenario, w Workload, registry map[string]core.Protocol, workers int, rm RunMetrics) *streamSource {
+func newStreamSource(s core.Scenario, w Workload, plan *compiledPlan, registry map[string]core.Protocol, workers int, rm RunMetrics) *streamSource {
 	depth := workers + 2
 	ordered := make(chan *chunk, depth)
 	work := make(chan *chunk, depth)
@@ -323,7 +407,7 @@ func newStreamSource(s core.Scenario, w Workload, registry map[string]core.Proto
 		go func() {
 			for c := range work {
 				for j, p := range c.pays {
-					c.subs[j] = simulateOne(s, p, registry)
+					c.subs[j] = simulateOne(s, plan, p, registry)
 					rm.Simulated.Inc()
 				}
 				rm.ChunksSimulated.Inc()
@@ -383,10 +467,10 @@ func forEachIndex(n, workers int, fn func(int)) {
 
 // simulatePayments runs every payment's protocol simulation across a worker
 // pool. Result order is by payment index, independent of scheduling.
-func simulatePayments(base core.Scenario, payments []*payment, registry map[string]core.Protocol, workers int, rm RunMetrics) []subOutcome {
+func simulatePayments(base core.Scenario, plan *compiledPlan, payments []*payment, registry map[string]core.Protocol, workers int, rm RunMetrics) []subOutcome {
 	out := make([]subOutcome, len(payments))
 	forEachIndex(len(payments), workers, func(idx int) {
-		out[idx] = simulateOne(base, payments[idx], registry)
+		out[idx] = simulateOne(base, plan, payments[idx], registry)
 		rm.Simulated.Inc()
 	})
 	return out
@@ -413,6 +497,8 @@ func newLiquidityBook(s core.Scenario, w Workload, demand map[string]map[string]
 				"Available (unescrowed) traffic liquidity.", "ledger", l.Name())
 			m.Escrowed = s.Metrics.Gauge(ledger.MetricLiquidityEscrowed,
 				"Traffic liquidity held in pending locks.", "ledger", l.Name())
+			m.ByzantineEscrowed = s.Metrics.Gauge(ledger.MetricLiquidityByzantine,
+				"Traffic liquidity held in locks owned by Byzantine parties.", "ledger", l.Name())
 			l.SetMetrics(m)
 		}
 		for _, owner := range []string{core.CustomerID(i), core.CustomerID(i + 1)} {
@@ -460,6 +546,7 @@ type timeline struct {
 	res  *Result
 	agg  *aggregator
 	w    Workload
+	plan *compiledPlan
 	book *ledger.Book
 	m    RunMetrics
 
@@ -467,6 +554,76 @@ type timeline struct {
 	qlen         int
 	inFlight     int
 	fired        uint64
+
+	// lockedNow is the refund-cascade accounting counter: units currently
+	// held in traffic-level locks, incremented at admission and decremented
+	// at settlement (release or refund). It must never go negative and must
+	// return to zero by the end of the run — the instant-by-instant form of
+	// the conservation audit.
+	lockedNow int64
+	// byzConn counts connectors currently inside a fault window (drives the
+	// live gauge); byzLedgers caches the book's ledgers for the O(chain)
+	// Byzantine-liquidity sweep after each admission/settlement.
+	byzConn    int
+	byzLedgers []*ledger.Ledger
+}
+
+// scheduleMarks replays the plan's Byzantine-status transitions on the
+// timeline: marks at t=0 (static faults) apply immediately; later ones
+// become ordinary engine events, so ledger tagging interleaves
+// deterministically with arrivals and settlements.
+func (t *timeline) scheduleMarks() {
+	if t.plan == nil {
+		return
+	}
+	for _, name := range t.book.Names() {
+		t.byzLedgers = append(t.byzLedgers, t.book.MustGet(name))
+	}
+	for _, mk := range t.plan.marks() {
+		if mk.at <= 0 {
+			t.setByzantine(mk.index, mk.on)
+			continue
+		}
+		mk := mk
+		t.eng.ScheduleIn(mk.at, fmt.Sprintf("byz-%v:c%d", mk.on, mk.index), func() {
+			t.setByzantine(mk.index, mk.on)
+		})
+	}
+}
+
+// setByzantine tags connector c_idx's accounts on its two adjacent traffic
+// ledgers, so liquidity held in the connector's locks is observable as
+// Byzantine-held (lock-and-abandon griefing shows up directly).
+func (t *timeline) setByzantine(idx int, on bool) {
+	owner := core.CustomerID(idx)
+	for _, e := range []int{idx - 1, idx} {
+		if e >= 0 && e < t.res.Chain {
+			t.book.MustGet(core.EscrowID(e)).SetByzantine(owner, on)
+		}
+	}
+	if on {
+		t.byzConn++
+	} else {
+		t.byzConn--
+	}
+	t.m.ByzConnectors.Set(float64(t.byzConn))
+	t.observeByzHeld()
+}
+
+// observeByzHeld recomputes the value currently locked by Byzantine payers
+// across the book (O(chain)) and tracks its peak.
+func (t *timeline) observeByzHeld() {
+	if t.plan == nil {
+		return
+	}
+	var held int64
+	for _, l := range t.byzLedgers {
+		held += l.ByzantineEscrowed()
+	}
+	t.m.ByzHeld.Set(float64(held))
+	if held > t.res.PeakByzantineHeld {
+		t.res.PeakByzantineHeld = held
+	}
 }
 
 // run drives the timeline: for each payment, fire every pending event
@@ -506,6 +663,18 @@ func (t *timeline) arrive(p *payment, sub subOutcome) {
 	if sub.err == nil {
 		f.pr.SubEvents = sub.events
 	}
+	f.pr.Faulted = sub.byz
+	if len(sub.safety) > 0 {
+		// Aggregate safety oracle: arrivals are processed in generation
+		// order, so the violation count and its sample are deterministic.
+		t.res.SafetyViolations += len(sub.safety)
+		t.m.SafetyViolations.Add(uint64(len(sub.safety)))
+		for _, detail := range sub.safety {
+			if len(t.res.SafetySample) < maxSafetySample {
+				t.res.SafetySample = append(t.res.SafetySample, detail)
+			}
+		}
+	}
 	if t.admit(f, now) {
 		t.start(f, now)
 		return
@@ -522,9 +691,25 @@ func (t *timeline) arrive(p *payment, sub subOutcome) {
 		f.pr.End = t.eng.Now()
 		f.pr.Queued = true
 		f.pr.QueueWait = f.pr.End - p.Arrival
+		f.pr.DropCause = t.dropCause(f)
 		t.finish(f)
 	})
 	t.enqueue(f)
+}
+
+// dropCause attributes a queue-expiry drop: "faulted-path" when the
+// payment's own route crossed a Byzantine participant — at arrival (its
+// sub-run inherited the fault) or at any instant while it waited — and
+// "capacity" otherwise. Honest-only runs therefore attribute every drop to
+// capacity.
+func (t *timeline) dropCause(f *flight) DropCause {
+	if f.sub.byz {
+		return CauseFaultedPath
+	}
+	if t.plan != nil && t.plan.routeFaulted(f.p.Sender, f.p.Receiver, f.p.Arrival, t.eng.Now()) {
+		return CauseFaultedPath
+	}
+	return CauseCapacity
 }
 
 // admit reserves every hop of f's payment, rolling back on the first
@@ -561,6 +746,10 @@ func (t *timeline) admit(f *flight, now sim.Time) bool {
 		return false
 	}
 	f.lockID = id
+	for k := 0; k < hops; k++ {
+		t.lockedNow += p.amountVia(k)
+	}
+	t.observeByzHeld()
 	return true
 }
 
@@ -591,7 +780,12 @@ func (t *timeline) start(f *flight, now sim.Time) {
 			} else {
 				l.Refund(end, f.lockID, end) //nolint:errcheck // unconditional lock
 			}
+			t.lockedNow -= f.p.amountVia(k)
 		}
+		if t.lockedNow < 0 && t.res.CascadeErr == nil {
+			t.res.CascadeErr = fmt.Errorf("traffic: refund cascade over-released at %v (%d units)", end, t.lockedNow)
+		}
+		t.observeByzHeld()
 		t.inFlight--
 		t.m.InFlight.Set(float64(t.inFlight))
 		t.finish(f)

@@ -33,6 +33,25 @@ const (
 	StatusError Status = "error"
 )
 
+// DropCause attributes a queue-expiry drop (StatusDropped) to what starved
+// the payment of liquidity.
+type DropCause string
+
+// Drop causes.
+const (
+	// CauseCapacity: the payment waited on honest contention — offered load
+	// simply exceeded the liquidity the chain could recycle in time.
+	CauseCapacity DropCause = "capacity"
+	// CauseFaultedPath: the payment's route crossed a Byzantine participant
+	// at arrival or while it waited, so the drop is attacker-caused damage
+	// (lock-and-abandon griefing, holdback) rather than honest congestion.
+	CauseFaultedPath DropCause = "faulted-path"
+)
+
+// maxSafetySample bounds Result.SafetySample: enough detail to diagnose a
+// violated run without growing the Result with the population size.
+const maxSafetySample = 8
+
 // PaymentResult records one payment's fate in the traffic timeline.
 type PaymentResult struct {
 	ID       string
@@ -59,6 +78,13 @@ type PaymentResult struct {
 	// SubEvents is the number of simulation events the payment's own
 	// protocol run fired (0 when it never ran).
 	SubEvents uint64
+	// Faulted reports whether the payment's sub-scenario contained any
+	// Byzantine participant (static fault, fault-plan window covering its
+	// arrival, or a manager outage for manager-based protocols).
+	Faulted bool
+	// DropCause attributes a StatusDropped payment to "capacity" or
+	// "faulted-path"; empty for every other status.
+	DropCause DropCause
 }
 
 // Latency is the end-to-end latency (arrival to settlement) of an admitted
@@ -126,6 +152,30 @@ type Result struct {
 	// PeakInFlight is the largest number of simultaneously admitted
 	// payments — the measure of how concurrent the run actually was.
 	PeakInFlight int
+
+	// Byzantine-traffic aggregates (all zero for honest runs).
+	//
+	// ByzantineConnectors is how many connectors the fault plan corrupted;
+	// FaultedPayments counts payments whose own sub-scenario contained a
+	// Byzantine participant. DroppedFaulted / DroppedCapacity split the
+	// Dropped count by attributed cause. PeakByzantineHeld is the largest
+	// liquidity simultaneously held in locks whose payer was Byzantine at
+	// the time — the direct measure of lock-and-abandon griefing.
+	ByzantineConnectors int
+	FaultedPayments     int
+	DroppedFaulted      int
+	DroppedCapacity     int
+	PeakByzantineHeld   int64
+	// SafetyViolations counts safety-property failures (ES, CS1-3, CC, CV)
+	// across every per-payment protocol run — the aggregate form of the
+	// Theorem 1/3 safety guarantee, owed at any load and any attacker
+	// fraction; SafetySample retains the first few failure details.
+	SafetyViolations int
+	SafetySample     []string
+	// CascadeErr is the refund-cascade accounting verdict: non-nil if the
+	// running locked-value counter ever went negative or did not return to
+	// zero (conservation must hold at every instant, not just at audit).
+	CascadeErr error
 
 	// Book is the traffic-level liquidity book (one ledger per escrow)
 	// after settlement; AuditErr is the result of auditing every ledger.
@@ -214,8 +264,18 @@ func (a *aggregator) observe(r *Result, p *PaymentResult) {
 		r.Rejected++
 	case StatusDropped:
 		r.Dropped++
+		if p.DropCause == CauseFaultedPath {
+			r.DroppedFaulted++
+			a.m.ByzExpired.Inc()
+		} else {
+			r.DroppedCapacity++
+		}
 	case StatusError:
 		r.Errored++
+	}
+	if p.Faulted {
+		r.FaultedPayments++
+		a.m.ByzPayments.Inc()
 	}
 	if p.Queued {
 		r.QueuedCount++
@@ -301,12 +361,21 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "  latency     mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n",
 		r.LatencyMeanMs, r.LatencyP50Ms, r.LatencyP95Ms, r.LatencyP99Ms, r.LatencyMaxMs)
 	fmt.Fprintf(&b, "  queue       queued=%d mean-wait=%.3fms\n", r.QueuedCount, r.QueueWaitMeanMs)
+	fmt.Fprintf(&b, "  byzantine   connectors=%d faulted-paths=%d dropped-faulted=%d dropped-capacity=%d peak-held=%d safety-violations=%d\n",
+		r.ByzantineConnectors, r.FaultedPayments, r.DroppedFaulted, r.DroppedCapacity, r.PeakByzantineHeld, r.SafetyViolations)
+	for _, detail := range r.SafetySample {
+		fmt.Fprintf(&b, "  SAFETY      %s\n", detail)
+	}
 	fmt.Fprintf(&b, "  value       delivered=%d units\n", r.VolumeMoved)
 	audit := "ok"
 	if r.AuditErr != nil {
 		audit = r.AuditErr.Error()
 	}
-	fmt.Fprintf(&b, "  ledgers     audit=%s pending-locks=%d\n", audit, r.PendingLocks)
+	cascade := "ok"
+	if r.CascadeErr != nil {
+		cascade = r.CascadeErr.Error()
+	}
+	fmt.Fprintf(&b, "  ledgers     audit=%s cascade=%s pending-locks=%d\n", audit, cascade, r.PendingLocks)
 	fmt.Fprintf(&b, "  simulation  sub-events=%d timeline-events=%d\n", r.SubEventsFired, r.TimelineEvents)
 	return b.String()
 }

@@ -176,7 +176,7 @@ func TestQueuedReadmissionAfterPartialRollback(t *testing.T) {
 		Payments: make([]PaymentResult, 2),
 		Book:     newLiquidityBook(s, w, nil),
 	}
-	executeTimeline(res, &sliceSource{pays: payments, subs: subs}, w, true, 0, nil, RunMetrics{})
+	executeTimeline(res, &sliceSource{pays: payments, subs: subs}, w, nil, true, 0, nil, RunMetrics{})
 
 	a := res.Payments[1]
 	if a.Status != StatusOK {
@@ -298,7 +298,7 @@ func TestSubScenarioTranslation(t *testing.T) {
 		SetFault(core.EscrowID(1), core.FaultSpec{StealEscrow: true}).
 		SetPatience(core.CustomerID(3), 7*sim.Second)
 	p := &payment{Index: 0, ID: "p", Sender: 1, Receiver: 4, Amounts: []int64{30, 20, 10}, Seed: 99}
-	sub := subScenario(base, p)
+	sub := subScenario(base, nil, p)
 	if sub.Topology.N != 3 {
 		t.Fatalf("sub-chain has %d escrows, want 3", sub.Topology.N)
 	}

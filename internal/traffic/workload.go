@@ -126,6 +126,10 @@ type Workload struct {
 	// MaxQueue caps the number of simultaneously queued payments (0 = no
 	// cap). Arrivals beyond the cap are rejected.
 	MaxQueue int
+	// Faults is the Byzantine fault plan: a deterministic, seed-derived
+	// schedule corrupting a fraction of the chain's connectors mid-run (see
+	// FaultPlan). The zero value keeps every connector honest.
+	Faults FaultPlan
 }
 
 // NewWorkload returns a sane default workload: n payments, Poisson arrivals
@@ -196,7 +200,14 @@ func (w Workload) Validate(t core.Topology) error {
 	if w.RandomSubPaths && w.HotspotFraction > 0 && (w.HotspotSender < 0 || w.HotspotSender >= t.N) {
 		return fmt.Errorf("traffic: hotspot sender c%d outside chain 0..%d", w.HotspotSender, t.N-1)
 	}
-	return nil
+	return w.Faults.Validate(t)
+}
+
+// WithFaults returns a copy of the workload running under the given
+// Byzantine fault plan.
+func (w Workload) WithFaults(fp FaultPlan) Workload {
+	w.Faults = fp
+	return w
 }
 
 // payment is one generated payment: its route on the shared chain, its
@@ -426,8 +437,11 @@ func addDemand(demand map[string]map[string]int64, p *payment) {
 // subScenario builds the single-payment scenario that simulates payment p in
 // isolation: the route becomes its own Fig. 1 chain (sub-chain customer c_k
 // is chain customer c_{Sender+k}), inheriting timing, network model, faults
-// and patience from the base scenario, with the payment's private seed.
-func subScenario(base core.Scenario, p *payment) core.Scenario {
+// and patience from the base scenario, with the payment's private seed. With
+// a compiled fault plan, connectors strictly inside the route whose fault
+// window covers the payment's arrival get the planned behaviour too (an
+// injected fault overrides a static one for the window's duration).
+func subScenario(base core.Scenario, plan *compiledPlan, p *payment) core.Scenario {
 	h := p.hops()
 	topo := core.NewTopology(h)
 	spec := core.PaymentSpec{PaymentID: p.ID, Amounts: p.Amounts}
@@ -475,6 +489,15 @@ func subScenario(base core.Scenario, p *payment) core.Scenario {
 		case core.RoleManager, core.RoleNotary:
 			if f.IsByzantine() {
 				sub = sub.SetFault(id, f)
+			}
+		}
+	}
+	if plan != nil {
+		// Only interior customers of the route act as connectors for this
+		// payment; its sender and receiver play Alice and Bob.
+		for k := 1; k < h; k++ {
+			if f, ok := plan.specAt(p.Sender+k, p.Arrival); ok {
+				sub = sub.SetFault(core.CustomerID(k), f)
 			}
 		}
 	}

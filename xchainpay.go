@@ -111,6 +111,14 @@ type (
 	AmountKind = traffic.AmountKind
 	// ProtocolShare weights one protocol within a mixed workload.
 	ProtocolShare = traffic.ProtocolShare
+	// TrafficFaultPlan is a deterministic, seed-derived schedule turning a
+	// fraction of a traffic run's connectors Byzantine mid-run, with optional
+	// recovery windows and a weak-liveness manager outage. Attach it via
+	// Workload.Faults; the zero value keeps every connector honest.
+	TrafficFaultPlan = traffic.FaultPlan
+	// TrafficDropCause attributes a queue-expiry drop to the attacker
+	// (faulted path) or to plain capacity starvation.
+	TrafficDropCause = traffic.DropCause
 	// Histogram is the streaming log-bucketed histogram used by traffic
 	// runs that drop per-payment records: exact mean/min/max/sum, and
 	// percentile estimates within 1% relative error in constant memory.
@@ -150,6 +158,16 @@ const (
 	AmountUniform     = traffic.AmountUniform
 	AmountExponential = traffic.AmountExponential
 )
+
+// Drop causes recorded on dropped traffic payments, re-exported.
+const (
+	DropCapacity    = traffic.CauseCapacity
+	DropFaultedPath = traffic.CauseFaultedPath
+)
+
+// DefaultTrafficFaultBehaviours returns the adversary behaviours a
+// TrafficFaultPlan draws from when none are configured.
+func DefaultTrafficFaultBehaviours() []string { return traffic.DefaultFaultBehaviours() }
 
 // Time units, re-exported for scenario construction.
 const (
