@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/adversary"
@@ -93,8 +94,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "control error: %v\n", err)
 		failed = true
 	} else {
-		for cand, ok := range control {
-			if !ok {
+		// Report in sorted candidate order: map iteration would print
+		// failures in a different order on every run.
+		cands := make([]string, 0, len(control))
+		for cand := range control {
+			cands = append(cands, cand)
+		}
+		sort.Strings(cands)
+		for _, cand := range cands {
+			if !control[cand] {
 				fmt.Fprintf(stdout, "control FAILED: %s violates Definition 1 even under synchrony\n", cand)
 				failed = true
 			}

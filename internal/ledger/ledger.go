@@ -194,6 +194,8 @@ func (l *Ledger) Mint(at sim.Time, owner string, amount int64) error {
 }
 
 // Transfer moves value directly between two accounts of this ledger.
+//
+//xchain:hotpath
 func (l *Ledger) Transfer(at sim.Time, from, to string, amount int64) error {
 	if amount <= 0 {
 		return ErrBadAmount
@@ -211,6 +213,8 @@ func (l *Ledger) Transfer(at sim.Time, from, to string, amount int64) error {
 }
 
 // CreateLock moves amount from payer's account into escrow under id.
+//
+//xchain:hotpath
 func (l *Ledger) CreateLock(at sim.Time, id, payer, payee string, amount int64, cond Condition) (*Lock, error) {
 	if amount <= 0 {
 		return nil, ErrBadAmount
@@ -271,6 +275,8 @@ func (l *Ledger) PendingLocks() []*Lock {
 // Release completes the escrowed transfer to the payee. If the lock carries
 // a hashlock, preimage must match; if it carries an expiry, release must
 // happen strictly before the expiry (localNow < Expiry).
+//
+//xchain:hotpath
 func (l *Ledger) Release(at sim.Time, id string, preimage []byte, localNow sim.Time) error {
 	lk, ok := l.locks[id]
 	if !ok {
@@ -302,6 +308,8 @@ func (l *Ledger) Release(at sim.Time, id string, preimage []byte, localNow sim.T
 
 // Refund returns the escrowed value to the payer. If the lock carries an
 // expiry, refund is only allowed at or after the expiry.
+//
+//xchain:hotpath
 func (l *Ledger) Refund(at sim.Time, id string, localNow sim.Time) error {
 	lk, ok := l.locks[id]
 	if !ok {
@@ -329,6 +337,8 @@ func (l *Ledger) Refund(at sim.Time, id string, localNow sim.Time) error {
 }
 
 // forget drops a settled lock under compaction.
+//
+//xchain:hotpath
 func (l *Ledger) forget(id string) {
 	if l.compact {
 		delete(l.locks, id)
@@ -344,6 +354,7 @@ func (l *Ledger) Ops() []Op { return l.ops }
 // not.
 func (l *Ledger) OpCount() int { return l.opCount }
 
+//xchain:hotpath
 func (l *Ledger) log(op Op) {
 	op.Seq = l.opCount
 	l.opCount++

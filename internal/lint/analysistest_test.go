@@ -1,0 +1,145 @@
+package lint
+
+// A stdlib-only stand-in for golang.org/x/tools/go/analysis/analysistest:
+// each package under testdata/src/<importPath> is parsed and type-checked,
+// the full analyzer suite runs over it (through RunAnalyzers, so //lint:
+// suppression filtering is exercised too), and every diagnostic must match a
+// backtick-quoted `// want` regexp on its line — and vice versa.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadTestdataPkg parses and type-checks one fixture package.
+func loadTestdataPkg(t *testing.T, importPath string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files under %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		Target:     true,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+}
+
+// wantRe extracts the backtick-quoted regexp from a `// want` comment.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+// collectWants gathers every `// want` expectation in the package.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// runTestdata checks one fixture package's diagnostics against its wants.
+func runTestdata(t *testing.T, importPath string) {
+	t.Helper()
+	pkg := loadTestdataPkg(t, importPath)
+	wants := collectWants(t, pkg)
+
+	diags, err := RunAnalyzers([]*Package{pkg}, Analyzers())
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.text)
+		}
+	}
+}
+
+func TestWallclockFixture(t *testing.T)  { runTestdata(t, "repro/internal/sim") }
+func TestGlobalrandFixture(t *testing.T) { runTestdata(t, "repro/internal/netsim") }
+func TestMaprangeFixture(t *testing.T)   { runTestdata(t, "maprange") }
+func TestHotallocFixture(t *testing.T)   { runTestdata(t, "hotalloc") }
+func TestNilsafeFixture(t *testing.T)    { runTestdata(t, "nilsafe") }
+
+// TestAllowlistFixture proves the deterministic-set gate: the same time and
+// math/rand calls that light up internal/sim are clean in a CLI package.
+func TestAllowlistFixture(t *testing.T) { runTestdata(t, "repro/cmd/democli") }

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// inspectStack walks every node of f, calling fn with the node and the
+// stack of its ancestors (outermost first, not including n itself).
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pkgFunc resolves expr as a reference to a package-level function or other
+// object of an imported package (`pkg.Name`), returning the package's
+// import path and the object name.
+func pkgFunc(info *types.Info, expr ast.Expr) (path, name string, ok bool) {
+	sel, isSel := expr.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// hasDirective reports whether the comment group contains a comment line
+// beginning with the given directive (e.g. "//xchain:hotpath").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := c.Text
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// methodRecvType returns the receiver's named type for a method call
+// expression like x.M(...), or nil when call isn't a method call.
+func methodRecvType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	return s.Recv()
+}
+
+// namedTypePath returns "importpath.TypeName" for t (dereferencing one
+// pointer level), or "".
+func namedTypePath(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// objDeclaredWithin reports whether obj's declaration lies inside the node
+// span [pos, end).
+func objDeclaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Target     bool // matched the load patterns (vs. pulled in as a dependency)
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (resolved relative to dir,
+// which must be inside the module), parses their non-test Go files and
+// type-checks them together with their in-module dependencies. Standard
+// library imports resolve through go/importer's source importer, so loading
+// works without compiled export data or network access. Any parse or type
+// error aborts the load: analyzers only run on trees that compile.
+//
+// Test files are deliberately excluded — tests measure wall time, spawn
+// goroutines and use testing/quick freely; the determinism contract binds
+// the code under test, not the tests.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json=Dir,ImportPath,Name,Standard,DepOnly,GoFiles,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	// Collect the in-module (non-standard) packages, dependencies first:
+	// `go list -deps` emits them in dependency order, so by the time a
+	// package is type-checked every import it needs is already done.
+	var order []*listPkg
+	fset := token.NewFileSet()
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		order = append(order, &p)
+	}
+
+	ld := &loader{
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		byPath: map[string]*Package{},
+	}
+	var pkgs []*Package
+	for _, p := range order {
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = !p.DepOnly
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks module packages against a shared file set, resolving
+// stdlib imports from source and module imports from already-checked
+// packages.
+type loader struct {
+	fset   *token.FileSet
+	std    types.Importer
+	byPath map[string]*Package
+}
+
+// Import implements types.Importer for the type-checker: in-module paths
+// must already be checked (dependency order guarantees it), everything else
+// is standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.byPath[path]; ok {
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// check parses and type-checks one module package.
+func (ld *loader) check(p *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", filepath.Join(p.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: ld,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(p.ImportPath, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s:\n  %s", p.ImportPath, strings.Join(typeErrs, "\n  "))
+	}
+
+	pkg := &Package{
+		ImportPath: p.ImportPath,
+		Name:       p.Name,
+		Dir:        p.Dir,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	ld.byPath[p.ImportPath] = pkg
+	return pkg, nil
+}

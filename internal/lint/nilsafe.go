@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Nilsafe enforces PR 6's no-op handle contract on types annotated
+// `//xchain:nilsafe`.
+//
+// A nil *Counter, *Gauge, *Histogram or *Registry is the muted
+// configuration: instrumentation sites call methods on it unconditionally
+// and rely on every exported method being a no-op for the nil receiver. One
+// missing guard turns "metrics not attached" into a panic on the hot path.
+// The analyzer requires each exported pointer-receiver method on an
+// annotated type to begin with a nil-receiver guard (`if x == nil` /
+// `if x != nil`) or to consist solely of a delegation to another method on
+// the same receiver (which performs the check itself).
+var Nilsafe = &Analyzer{
+	Name: "nilsafe",
+	Doc:  "exported pointer-receiver methods on //xchain:nilsafe types must begin with a nil-receiver guard",
+	Run:  runNilsafe,
+}
+
+// NilsafeDirective marks a type whose nil pointer is a valid no-op handle.
+const NilsafeDirective = "//xchain:nilsafe"
+
+func runNilsafe(pass *Pass) error {
+	// Pass 1: collect annotated type names.
+	annotated := map[string]bool{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			declAnnotated := hasDirective(gd.Doc, NilsafeDirective)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if declAnnotated || hasDirective(ts.Doc, NilsafeDirective) {
+					annotated[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every exported pointer-receiver method on those types.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+				continue
+			}
+			star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receivers copy; nil does not arise
+			}
+			base, ok := star.X.(*ast.Ident)
+			if !ok || !annotated[base.Name] {
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			if len(fd.Recv.List[0].Names) == 0 {
+				// An unnamed receiver cannot be nil-checked; an empty body
+				// is trivially a no-op, anything else is a finding.
+				if len(fd.Body.List) > 0 {
+					pass.Reportf(fd.Pos(),
+						"exported method %s on nilsafe type *%s has an unnamed receiver and no nil guard",
+						fd.Name.Name, base.Name)
+				}
+				continue
+			}
+			recvName := fd.Recv.List[0].Names[0].Name
+			if recvName == "_" || len(fd.Body.List) == 0 {
+				continue
+			}
+			if startsWithNilGuard(fd.Body, recvName) || isDelegation(fd.Body, recvName) {
+				continue
+			}
+			pass.Reportf(fd.Pos(),
+				"exported method %s on nilsafe type *%s must begin with a nil-receiver guard (`if %s == nil { return ... }`) or delegate to a guarded method",
+				fd.Name.Name, base.Name, recvName)
+		}
+	}
+	return nil
+}
+
+// startsWithNilGuard reports whether the body's first statement is
+// `if recv == nil { ... }` or `if recv != nil { ... }`.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	cmp, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+		return false
+	}
+	return (isIdent(cmp.X, recv) && isIdent(cmp.Y, "nil")) ||
+		(isIdent(cmp.X, "nil") && isIdent(cmp.Y, recv))
+}
+
+// isDelegation reports whether the body is a single statement in which the
+// receiver appears only as the receiver of method calls — the nil check
+// then lives in the callee (`func (g *Gauge) Inc() { g.Add(1) }`).
+func isDelegation(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	switch body.List[0].(type) {
+	case *ast.ExprStmt, *ast.ReturnStmt:
+	default:
+		return false
+	}
+	// Every receiver mention must be the X of a selector that is itself
+	// called.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(body.List[0], func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[call.Fun] = true
+		}
+		return true
+	})
+	sanctioned := map[*ast.Ident]bool{}
+	ast.Inspect(body.List[0], func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && callFuns[sel] {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+				sanctioned[id] = true
+			}
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(body.List[0], func(n ast.Node) bool {
+		if id, isID := n.(*ast.Ident); isID && id.Name == recv && !sanctioned[id] {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// isIdent reports whether e is the identifier name.
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

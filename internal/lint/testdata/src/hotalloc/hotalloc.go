@@ -1,0 +1,87 @@
+// Package hotalloc is a golden-diagnostic fixture for the hotalloc
+// analyzer. The local Trace type mirrors the real trace.Trace surface
+// (Recording, Add, AddLazy) that the analyzer keys on by name.
+package hotalloc
+
+import "fmt"
+
+type Trace struct {
+	on     bool
+	events []string
+}
+
+func (t *Trace) Recording() bool { return t != nil && t.on }
+
+func (t *Trace) Add(label string) { t.events = append(t.events, label) }
+
+func (t *Trace) AddLazy(f func() string) { t.events = append(t.events, f()) }
+
+//xchain:hotpath
+func eagerFormat(seq uint64) string {
+	return fmt.Sprintf("seq=%d", seq) // want `eager fmt\.Sprintf in hot path eagerFormat not guarded by Recording\(\)`
+}
+
+//xchain:hotpath
+func eagerTrace(tr *Trace, id string) {
+	tr.Add(id) // want `trace Add in hot path eagerTrace not guarded by Recording\(\)`
+}
+
+//xchain:hotpath
+func eagerConcat(id string, seq uint64) string {
+	_ = seq
+	return id + "!" // want `string concatenation in hot path eagerConcat not guarded by Recording\(\)`
+}
+
+// Guard spelling 1: Recording() called directly in the if condition.
+//
+//xchain:hotpath
+func guardedDirect(tr *Trace, id string) {
+	if tr.Recording() {
+		tr.Add("deliver " + id)
+	}
+}
+
+// Guard spelling 2: branching on a bool bound from a Recording() call.
+//
+//xchain:hotpath
+func guardedBound(tr *Trace, id string) {
+	recording := tr.Recording()
+	if recording {
+		tr.Add("send " + id)
+	}
+}
+
+// Building the lazy closure still allocates on a muted run, so the AddLazy
+// call itself is flagged; the Sprintf inside the literal is lazy and exempt.
+//
+//xchain:hotpath
+func lazyClosure(tr *Trace, seq uint64) {
+	tr.AddLazy(func() string { return fmt.Sprintf("seq=%d", seq) }) // want `trace AddLazy in hot path lazyClosure not guarded by Recording\(\)`
+}
+
+// A negated condition is not a guard: this body runs exactly when muted.
+//
+//xchain:hotpath
+func negated(tr *Trace, id string) {
+	if !tr.Recording() {
+		tr.Add(id) // want `trace Add in hot path negated not guarded by Recording\(\)`
+	}
+}
+
+// Error construction is a result the caller demanded, not observability.
+//
+//xchain:hotpath
+func errorsAllowed(id string) error {
+	return fmt.Errorf("unknown participant %q", id)
+}
+
+// No directive, no checks: cold paths may format freely.
+func coldPath(tr *Trace, seq uint64) {
+	tr.Add(fmt.Sprintf("seq=%d", seq))
+}
+
+//xchain:hotpath
+func justified(tr *Trace, id string) {
+	//lint:hotalloc fixture: a justified suppression silences the finding
+	tr.Add(id)
+}

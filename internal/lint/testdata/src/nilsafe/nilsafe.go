@@ -1,0 +1,75 @@
+// Package nilsafe is a golden-diagnostic fixture for the nilsafe analyzer:
+// exported pointer-receiver methods on //xchain:nilsafe types must start
+// with a nil-receiver guard or delegate to a method that does.
+package nilsafe
+
+//xchain:nilsafe
+type Counter struct {
+	n int64
+}
+
+// Guard form: if recv == nil { return }.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n += delta
+}
+
+// Delegation: the nil check lives in Add.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Delegation through a return statement.
+func (c *Counter) Value() int64 {
+	return c.load()
+}
+
+func (c *Counter) load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+func (c *Counter) Reset() { // want `exported method Reset on nilsafe type \*Counter must begin with a nil-receiver guard`
+	c.n = 0
+}
+
+func register(c *Counter) {}
+
+// Passing the receiver as an argument is not delegation: register cannot be
+// assumed to tolerate nil.
+func (c *Counter) Register() { // want `exported method Register on nilsafe type \*Counter must begin with a nil-receiver guard`
+	register(c)
+}
+
+//xchain:nilsafe
+type Gauge struct {
+	v float64
+}
+
+// Guard form: if recv != nil { ... }.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+func (g *Gauge) Value() float64 { // want `exported method Value on nilsafe type \*Gauge must begin with a nil-receiver guard`
+	return g.v
+}
+
+// Unexported methods are the implementation's own business.
+func (g *Gauge) set(v float64) {
+	g.v = v
+}
+
+// Value receivers copy the struct; a nil receiver cannot arise.
+func (g Gauge) Snapshot() float64 { return g.v }
+
+// Unannotated types carry no contract.
+type Plain struct {
+	n int
+}
+
+func (p *Plain) Bump() { p.n++ }

@@ -1,0 +1,16 @@
+// Command democli is a fixture proving the wallclock and globalrand
+// allowlist: CLIs sit outside the deterministic package set, so measuring
+// wall time and drawing global randomness here is legitimate and must
+// produce no findings.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(rand.Intn(6), time.Since(start))
+}

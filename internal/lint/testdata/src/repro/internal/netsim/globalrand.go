@@ -1,0 +1,41 @@
+// Package netsim is a golden-diagnostic fixture for the globalrand
+// analyzer: deterministic packages must draw all randomness from seeded
+// generators.
+package netsim
+
+import (
+	crand "crypto/rand" // want `crypto/rand imported in deterministic package repro/internal/netsim`
+	"math/rand"
+)
+
+func globalDraw() int {
+	return rand.Intn(6) // want `rand.Intn draws from the process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the process-global source`
+}
+
+func reseed() {
+	rand.Seed(1) // want `rand.Seed draws from the process-global source`
+}
+
+func entropy(b []byte) {
+	_, _ = crand.Read(b)
+}
+
+// Seeded construction is exactly the sanctioned pattern.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// Declarations naming the types stay allowed.
+func takesRand(rng *rand.Rand) int64 {
+	return rng.Int63()
+}
+
+func justified() int {
+	//lint:globalrand fixture: a justified suppression silences the finding
+	return rand.Int()
+}

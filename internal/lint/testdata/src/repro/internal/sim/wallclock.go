@@ -1,0 +1,35 @@
+// Package sim is a golden-diagnostic fixture for the wallclock analyzer:
+// its import path sits inside the deterministic set, so every clock-reading
+// time call must be flagged.
+package sim
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // want `time.Now depends on the wall clock in deterministic package repro/internal/sim`
+}
+
+func measure(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since depends on the wall clock`
+}
+
+func wait() {
+	time.Sleep(time.Millisecond)    // want `time.Sleep depends on the wall clock`
+	t := time.NewTimer(time.Second) // want `time.NewTimer depends on the wall clock`
+	defer t.Stop()
+	<-time.After(time.Second) // want `time.After depends on the wall clock`
+}
+
+// Pure conversions and constants never touch the clock.
+func constantsAllowed() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func unixAllowed() time.Time {
+	return time.Unix(0, 0)
+}
+
+func justified() time.Time {
+	//lint:wallclock fixture: a justified suppression silences the finding
+	return time.Now()
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Wallclock forbids reading the wall clock inside deterministic packages.
+//
+// Runs are pure functions of (scenario, seed): virtual time comes from
+// sim.Engine.Now and local clocks from clock.Clock, never from the host.
+// One time.Now() on a simulated code path silently couples results to the
+// machine and the moment, which no equivalence suite can reliably catch —
+// so the whole package set is closed to the time package's clock-reading
+// API. CLIs, xchain-serve and internal/bench legitimately measure wall time
+// and sit outside the deterministic set.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Sleep and timers in deterministic packages; virtual time flows from sim.Engine only",
+	Run:  runWallclock,
+}
+
+// wallclockForbidden is the clock-reading (or clock-waiting) subset of the
+// time package. Pure conversions and constants (time.Duration,
+// time.Millisecond, time.Unix construction from explicit numbers) stay
+// allowed.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallclock(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.ImportPath) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(pass.Pkg.Info, sel)
+			if !ok || path != "time" || !wallclockForbidden[name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s depends on the wall clock in deterministic package %s; use virtual time from sim.Engine (or move the code outside the deterministic set)",
+				name, pass.Pkg.ImportPath)
+			return true
+		})
+	}
+	return nil
+}

@@ -62,11 +62,15 @@ func (k Kind) String() string {
 
 // Counter is a monotonically increasing counter. The nil *Counter is a
 // valid muted handle: Inc and Add on it are no-ops.
+//
+//xchain:nilsafe
 type Counter struct {
 	v atomic.Uint64
 }
 
 // Inc adds one.
+//
+//xchain:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -74,6 +78,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//xchain:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -90,11 +96,15 @@ func (c *Counter) Value() uint64 {
 
 // Gauge is a float64 value that can go up and down (queue depth, liquidity,
 // virtual-time watermark). The nil *Gauge is a valid muted handle.
+//
+//xchain:nilsafe
 type Gauge struct {
 	bits atomic.Uint64
 }
 
 // Set stores v.
+//
+//xchain:hotpath
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
@@ -102,6 +112,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adds d (atomically, via CAS).
+//
+//xchain:hotpath
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
@@ -116,9 +128,13 @@ func (g *Gauge) Add(d float64) {
 }
 
 // Inc adds one.
+//
+//xchain:hotpath
 func (g *Gauge) Inc() { g.Add(1) }
 
 // Dec subtracts one.
+//
+//xchain:hotpath
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value (0 for the nil handle).
@@ -146,6 +162,8 @@ var logHistGrowth = math.Log(stats.HistGrowth)
 // (observations below it share an underflow bucket). Unlike stats.Histogram
 // it has a fixed memory footprint and atomic cells, so worker goroutines
 // observe while a scraper reads. The nil *Histogram is a valid muted handle.
+//
+//xchain:nilsafe
 type Histogram struct {
 	counts    [histBuckets]atomic.Uint64
 	underflow atomic.Uint64
@@ -154,6 +172,8 @@ type Histogram struct {
 }
 
 // addFloat atomically adds d to the float64 stored in bits.
+//
+//xchain:hotpath
 func addFloat(bits *atomic.Uint64, d float64) {
 	for {
 		old := bits.Load()
@@ -165,6 +185,8 @@ func addFloat(bits *atomic.Uint64, d float64) {
 }
 
 // Observe records one observation. Negative values are clamped to zero.
+//
+//xchain:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -257,6 +279,8 @@ type family struct {
 // call NewRegistry. A nil *Registry is the muted registry: every getter
 // returns a nil (no-op) handle, so "no observability attached" needs no
 // branches at instrumentation sites.
+//
+//xchain:nilsafe
 type Registry struct {
 	mu sync.RWMutex
 	// consts holds pre-validated constant label pairs stamped on every

@@ -192,6 +192,8 @@ type deliverArg struct {
 // deliver is the delivery callback shared by every scheduled message. All
 // fields are copied out before the arg is recycled: the recipient's Deliver
 // may itself call Send, which reuses pooled args immediately.
+//
+//xchain:hotpath
 func deliver(x any) {
 	d := x.(*deliverArg)
 	n, dst, env, delay := d.net, d.dst, d.env, d.delay
@@ -284,6 +286,8 @@ func (n *Network) AddRule(r LinkRule) { n.rules = append(n.rules, r) }
 // Send hands a message from one participant to another. Unknown recipients
 // cause the message to be dropped (and traced), mirroring a payment sent to
 // a non-existent account rather than crashing the run.
+//
+//xchain:hotpath
 func (n *Network) Send(from, to string, msg Message) {
 	n.seq++
 	now := n.eng.Now()
@@ -338,6 +342,8 @@ func (n *Network) Send(from, to string, msg Message) {
 // Broadcast sends msg from one participant to every other registered node,
 // in sorted node-ID order so that the per-message sequence numbers and delay
 // draws are identical on every run.
+//
+//xchain:hotpath
 func (n *Network) Broadcast(from string, msg Message) {
 	n.m.Broadcasts.Inc()
 	for _, id := range n.ids {

@@ -81,6 +81,8 @@ type Timer struct {
 
 // Cancel prevents a pending event from firing. Canceling an event that has
 // already fired or was already canceled is a no-op.
+//
+//xchain:hotpath
 func (t Timer) Cancel() {
 	if t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled {
 		t.ev.canceled = true
@@ -152,6 +154,8 @@ func less(a, b *event) bool {
 }
 
 // push inserts ev into the heap (sift-up).
+//
+//xchain:hotpath
 func (e *Engine) push(ev *event) {
 	e.heap = append(e.heap, ev)
 	i := len(e.heap) - 1
@@ -166,6 +170,8 @@ func (e *Engine) push(ev *event) {
 }
 
 // popRoot removes and returns the heap's minimum (sift-down).
+//
+//xchain:hotpath
 func (e *Engine) popRoot() *event {
 	root := e.heap[0]
 	n := len(e.heap) - 1
@@ -193,6 +199,8 @@ func (e *Engine) popRoot() *event {
 
 // recycle invalidates all Timers pointing at ev and returns the record to
 // the free list.
+//
+//xchain:hotpath
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.name = ""
@@ -205,6 +213,8 @@ func (e *Engine) recycle(ev *event) {
 // schedule is the common scheduling path. Records come from the free list,
 // so in steady state the only allocation is whatever closure (if any) the
 // caller built for fn.
+//
+//xchain:hotpath
 func (e *Engine) schedule(at Time, name string, fn func(), argFn func(any), arg any) Timer {
 	if at < e.now {
 		at = e.now
@@ -234,11 +244,15 @@ func (e *Engine) schedule(at Time, name string, fn func(), argFn func(any), arg 
 
 // ScheduleAt registers fn to run at absolute virtual time at. Scheduling in
 // the past is clamped to "now": the event fires before time advances further.
+//
+//xchain:hotpath
 func (e *Engine) ScheduleAt(at Time, name string, fn func()) Timer {
 	return e.schedule(at, name, fn, nil, nil)
 }
 
 // ScheduleIn registers fn to run after delay d from the current time.
+//
+//xchain:hotpath
 func (e *Engine) ScheduleIn(d Time, name string, fn func()) Timer {
 	if d < 0 {
 		d = 0
@@ -251,11 +265,15 @@ func (e *Engine) ScheduleIn(d Time, name string, fn func()) Timer {
 // per-event state pre-bound in arg, so the hot path allocates nothing: arg
 // is typically a pointer into a caller-managed pool, and boxing a pointer
 // into an interface does not allocate.
+//
+//xchain:hotpath
 func (e *Engine) ScheduleArgAt(at Time, name string, fn func(any), arg any) Timer {
 	return e.schedule(at, name, nil, fn, arg)
 }
 
 // ScheduleArgIn registers fn(arg) to run after delay d from the current time.
+//
+//xchain:hotpath
 func (e *Engine) ScheduleArgIn(d Time, name string, fn func(any), arg any) Timer {
 	if d < 0 {
 		d = 0
@@ -272,6 +290,8 @@ func (e *Engine) Stopped() bool { return e.stopped }
 
 // step fires the earliest pending event. It returns false when the queue is
 // empty or the engine has been stopped.
+//
+//xchain:hotpath
 func (e *Engine) step(until Time) bool {
 	if e.stopped {
 		return false
@@ -369,6 +389,8 @@ func (e *Engine) Drained() bool { return e.live == 0 }
 // or Never if none remain. Canceled events reaching the heap root are
 // discarded eagerly, so cancel-heavy workloads do not accumulate dead
 // records at the front of the queue.
+//
+//xchain:hotpath
 func (e *Engine) NextEventTime() Time {
 	for len(e.heap) > 0 && e.heap[0].canceled {
 		e.recycle(e.popRoot())

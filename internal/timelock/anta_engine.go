@@ -93,13 +93,17 @@ func newAntaEngine(e *env) *antaEngine {
 
 func (ae *antaEngine) start() {
 	ae.net.StartAll()
-	// Crash faults: stop the automaton at the configured time.
-	for id, f := range ae.env.scn.Faults {
-		if !f.Crash {
+	// Crash faults: stop the automaton at the configured time. Schedule in
+	// sorted participant order, not map order — the engine's seq tie-breaker
+	// follows scheduling order, so two crashes at the same instant would
+	// otherwise fire in a different order from run to run (the same
+	// map-iteration bug PR 2 fixed in netsim.Broadcast).
+	for _, id := range ae.env.scn.Topology.Participants() {
+		f, ok := ae.env.scn.Faults[id]
+		if !ok || !f.Crash {
 			continue
 		}
 		if a, ok := ae.net.Get(id); ok {
-			a := a
 			ae.env.eng.ScheduleAt(f.CrashAt, "crash:"+id, a.Crash)
 		}
 	}

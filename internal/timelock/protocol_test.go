@@ -356,3 +356,43 @@ func TestNames(t *testing.T) {
 		t.Errorf("unexpected name %q", NewANTA().Name())
 	}
 }
+
+// TestANTASimultaneousCrashesDeterministic is the regression test for the
+// map-order scheduling xchain-lint's sweep found in antaEngine.start: crash
+// faults were scheduled by ranging over the Faults map, so same-instant
+// crashes entered the event queue — and fired under the seq tie-breaker —
+// in a different order on every run. Today Automaton.Crash only mutates its
+// own automaton, so that disorder happens to commute; this test is the
+// canary that keeps runs byte-stable if crash handling ever grows a side
+// effect (a trace event, a message, a shared counter) that does not.
+func TestANTASimultaneousCrashesDeterministic(t *testing.T) {
+	build := func() core.Scenario {
+		at := 40 * sim.Millisecond
+		return happyScenario(4, 7).
+			SetFault(core.CustomerID(1), core.FaultSpec{Crash: true, CrashAt: at}).
+			SetFault(core.CustomerID(2), core.FaultSpec{Crash: true, CrashAt: at}).
+			SetFault(core.EscrowID(3), core.FaultSpec{Crash: true, CrashAt: at})
+	}
+	ref, err := NewANTA().Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run <= 4; run++ {
+		res, err := NewANTA().Run(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EventsFired != ref.EventsFired || res.Duration != ref.Duration {
+			t.Fatalf("run %d diverged: events %d vs %d, duration %v vs %v",
+				run, res.EventsFired, ref.EventsFired, res.Duration, ref.Duration)
+		}
+		if res.Trace.Len() != ref.Trace.Len() {
+			t.Fatalf("run %d: trace lengths differ: %d vs %d", run, res.Trace.Len(), ref.Trace.Len())
+		}
+		for i, er := range ref.Trace.Events() {
+			if got := res.Trace.Events()[i]; got.String() != er.String() {
+				t.Fatalf("run %d: trace diverges at %d:\n%s\n%s", run, i, er, got)
+			}
+		}
+	}
+}

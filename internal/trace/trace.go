@@ -96,6 +96,8 @@ func (t *Trace) Muted() bool { return t.muted }
 func (t *Trace) Recording() bool { return !t.muted }
 
 // Append adds an event, assigning its sequence number, and returns it.
+//
+//xchain:hotpath
 func (t *Trace) Append(ev Event) Event {
 	if t.muted {
 		return ev
