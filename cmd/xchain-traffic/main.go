@@ -99,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultOutage = fs.Duration("fault-outage", 0, "per-connector outage window; 0 = faulty for the rest of the run")
 		mgrOutage   = fs.Duration("manager-outage", 0, "weak-liveness manager outage window starting at -fault-from")
 		workers     = fs.Int("workers", 0, "worker-pool size (0 = one per CPU)")
+		shards      = fs.Int("shards", 0, "admission-timeline shards (0 = one per CPU, 1 = single timeline; results are identical at any count)")
 		stream      = fs.Bool("stream", false, "bounded-memory streaming pipeline (aggregates only)")
 		exemplars   = fs.Int("exemplars", 10, "payments kept as a reservoir sample with -stream")
 		sweepSeeds  = fs.Int("sweep-seeds", 0, "additionally sweep this many seeds in parallel")
@@ -173,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cfg := xchainpay.TrafficConfig{Workers: *workers, Stream: *stream, Exemplars: *exemplars, Crypto: *crypto}
+	cfg := xchainpay.TrafficConfig{Workers: *workers, Shards: *shards, Stream: *stream, Exemplars: *exemplars, Crypto: *crypto}
 	var stopProgress func()
 	if *progress > 0 {
 		reg := metrics.NewRegistry()

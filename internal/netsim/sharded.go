@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// ShardedNetwork connects nodes placed on the shards of a sim.ShardedEngine.
+// Same-shard messages take the classic pooled delivery path on the shard's
+// own engine; cross-shard messages become timestamped mailbox entries via
+// Shard.CrossArg, merged by the kernel in (time, source shard, source seq)
+// order. Every per-message mutable datum (sequence numbers, stats, arg
+// pools) is owned by exactly one shard and only touched from that shard's
+// window goroutine, so the network is safe under parallel windows without a
+// single lock on the send path.
+//
+// Placement contract: a node's outgoing sends must happen in events running
+// on the node's own shard. Delay draws come from the sending shard's RNG
+// side-stream, so delays are deterministic per (seed, shard) regardless of
+// how windows are scheduled.
+//
+// The sharded network never records traces: it exists for the muted
+// high-throughput path (traffic runs mute traces unconditionally). Runs that
+// need message traces use the single-timeline Network.
+type ShardedNetwork struct {
+	se    *sim.ShardedEngine
+	model DelayModel
+	nodes map[string]Node
+	place map[string]int
+	ids   []string // registered node IDs, kept sorted
+	rules []LinkRule
+	per   []shardNetState
+	m     Metrics
+}
+
+// shardNetState is the per-shard slice of the network's mutable state. It is
+// only ever accessed by code running on its shard: sends by the sending
+// shard, delivery bookkeeping by the destination shard.
+type shardNetState struct {
+	seq      uint64
+	stats    Stats
+	freeArgs []*shardDeliverArg
+}
+
+// shardDeliverArg carries one in-flight message's delivery state, pooled per
+// destination shard (delivery and pool release both run there).
+type shardDeliverArg struct {
+	net   *ShardedNetwork
+	shard int // destination shard, owner of the pool and stats to update
+	dst   Node
+	env   Envelope
+	delay sim.Time
+}
+
+// shardDeliver is the delivery callback shared by every scheduled message.
+// All fields are copied out before the arg is recycled, mirroring deliver.
+//
+//xchain:hotpath
+func shardDeliver(x any) {
+	d := x.(*shardDeliverArg)
+	n, shard, dst, env, delay := d.net, d.shard, d.dst, d.env, d.delay
+	*d = shardDeliverArg{net: n, shard: shard}
+	st := &n.per[shard]
+	st.freeArgs = append(st.freeArgs, d)
+	st.stats.Delivered++
+	n.m.Delivered.Inc()
+	st.stats.TotalDelay += delay
+	if delay > st.stats.MaxDelay {
+		st.stats.MaxDelay = delay
+	}
+	dst.Deliver(env.From, env.Msg)
+}
+
+// NewSharded creates a network over the sharded engine using the given delay
+// model. The engine's lookahead should not exceed ModelLookahead(model);
+// cross-shard deliveries closer than the lookahead are deferred to exactly
+// the lookahead horizon (the conservative barrier is never violated, at the
+// cost of slightly stretching sub-lookahead delays).
+func NewSharded(se *sim.ShardedEngine, model DelayModel) *ShardedNetwork {
+	return &ShardedNetwork{
+		se:    se,
+		model: model,
+		nodes: map[string]Node{},
+		place: map[string]int{},
+		per:   make([]shardNetState, se.Shards()),
+	}
+}
+
+// Engine returns the underlying sharded engine.
+func (n *ShardedNetwork) Engine() *sim.ShardedEngine { return n.se }
+
+// Model returns the delay model in use.
+func (n *ShardedNetwork) Model() DelayModel { return n.model }
+
+// SetMetrics attaches instrumentation hooks. The counters are atomic, so
+// concurrent windows may share them; totals aggregate across shards exactly.
+func (n *ShardedNetwork) SetMetrics(m Metrics) { n.m = m }
+
+// Register attaches a node to the given shard. Registering two nodes with
+// the same ID, or onto an unknown shard, is a programming error and panics.
+func (n *ShardedNetwork) Register(node Node, shard int) {
+	id := node.ID()
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node id %q", id))
+	}
+	if shard < 0 || shard >= len(n.per) {
+		panic(fmt.Sprintf("netsim: node %q registered on unknown shard %d", id, shard))
+	}
+	n.nodes[id] = node
+	n.place[id] = shard
+	at := sort.SearchStrings(n.ids, id)
+	n.ids = append(n.ids, "")
+	copy(n.ids[at+1:], n.ids[at:])
+	n.ids[at] = id
+}
+
+// ShardOf returns the shard a node is placed on, or -1 if unknown.
+func (n *ShardedNetwork) ShardOf(id string) int {
+	if s, ok := n.place[id]; ok {
+		return s
+	}
+	return -1
+}
+
+// NodeIDs returns the registered node IDs in sorted order.
+func (n *ShardedNetwork) NodeIDs() []string {
+	out := make([]string, len(n.ids))
+	copy(out, n.ids)
+	return out
+}
+
+// AddRule installs a link rule. Rules are read-only after setup; install
+// them before the run starts.
+func (n *ShardedNetwork) AddRule(r LinkRule) { n.rules = append(n.rules, r) }
+
+// Stats returns the network counters aggregated across shards.
+func (n *ShardedNetwork) Stats() Stats {
+	var total Stats
+	for i := range n.per {
+		s := &n.per[i].stats
+		total.Sent += s.Sent
+		total.Delivered += s.Delivered
+		total.Dropped += s.Dropped
+		total.TotalDelay += s.TotalDelay
+		if s.MaxDelay > total.MaxDelay {
+			total.MaxDelay = s.MaxDelay
+		}
+	}
+	return total
+}
+
+// Send hands a message from one participant to another. It must be called
+// from an event running on the sender's shard. Unknown recipients cause the
+// message to be dropped, mirroring Network.Send.
+//
+//xchain:hotpath
+func (n *ShardedNetwork) Send(from, to string, msg Message) {
+	src, ok := n.place[from]
+	if !ok {
+		panicUnregisteredSender(from)
+	}
+	eng := n.se.Shard(src).Engine
+	st := &n.per[src]
+	st.seq++
+	now := eng.Now()
+	env := Envelope{From: from, To: to, Msg: msg, SentAt: now, Seq: st.seq}
+	st.stats.Sent++
+	n.m.Sent.Inc()
+
+	delay, drop := n.model.Delay(env, eng)
+	for _, r := range n.rules {
+		if r.From == from && r.To == to && (r.Until == 0 || env.SentAt < r.Until) {
+			delay += r.Extra
+			if r.Drop {
+				drop = true
+			}
+		}
+	}
+	dst, ok := n.nodes[to]
+	if drop || !ok {
+		st.stats.Dropped++
+		n.m.Dropped.Inc()
+		return
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	dstShard := n.place[to]
+	if dstShard == src {
+		// Local delivery: classic pooled path on the shard's own heap.
+		var d *shardDeliverArg
+		dstState := &n.per[dstShard]
+		if k := len(dstState.freeArgs); k > 0 {
+			d = dstState.freeArgs[k-1]
+			dstState.freeArgs[k-1] = nil
+			dstState.freeArgs = dstState.freeArgs[:k-1]
+		} else {
+			d = &shardDeliverArg{}
+		}
+		d.net = n
+		d.shard = dstShard
+		d.dst = dst
+		d.env = env
+		d.delay = delay
+		eng.ScheduleArgIn(delay, "deliver", shardDeliver, d)
+		return
+	}
+	// Cross-shard delivery: a timestamped mailbox entry. Delays below the
+	// lookahead are stretched to it — the barrier rule, not the model, is
+	// the binding minimum latency between shards. The arg cannot come from
+	// a pool (the destination pool belongs to another goroutine), but it
+	// will be released into the destination's pool on delivery.
+	if la := n.se.Lookahead(); delay < la {
+		delay = la
+	}
+	d := &shardDeliverArg{net: n, shard: dstShard, dst: dst, env: env, delay: delay}
+	n.se.Shard(src).CrossArg(dstShard, now+delay, "deliver", shardDeliver, d)
+}
+
+// panicUnregisteredSender lives outside the hot path so Send itself never
+// formats.
+func panicUnregisteredSender(from string) {
+	panic(fmt.Sprintf("netsim: send from unregistered node %q", from))
+}
+
+// Broadcast sends msg from one participant to every other registered node,
+// in sorted node-ID order, like Network.Broadcast.
+//
+//xchain:hotpath
+func (n *ShardedNetwork) Broadcast(from string, msg Message) {
+	n.m.Broadcasts.Inc()
+	for _, id := range n.ids {
+		if id != from {
+			n.Send(from, id, msg)
+		}
+	}
+}
+
+// ModelLookahead returns the largest conservative lookahead a delay model
+// supports: the guaranteed minimum delivery delay between any two nodes.
+// Models without a known positive minimum yield 1 (every delay is clamped to
+// at least one tick).
+func ModelLookahead(m DelayModel) sim.Time {
+	if s, ok := m.(Synchronous); ok && s.Min >= 1 {
+		return s.Min
+	}
+	return 1
+}

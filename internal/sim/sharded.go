@@ -1,0 +1,343 @@
+package sim
+
+// Sharded execution: a ShardedEngine partitions one simulation into several
+// Shards, each a full Engine with its own pooled event heap, virtual clock
+// and splitmix64-derived RNG side-stream. Shards advance in conservative
+// lookahead windows and exchange work only through timestamped cross-shard
+// mailboxes, merged in a deterministic order — so a sharded run is as
+// reproducible as a single-timeline one, at any GOMAXPROCS and whether the
+// window executes shards serially or on parallel goroutines.
+//
+// The synchronization protocol is classic conservative parallel DES:
+//
+//   T := min over shards of NextEventTime()       (global lower bound)
+//   H := T + lookahead - 1                        (window horizon)
+//   every shard runs all events with at <= H, clocks sync to H
+//
+// An event firing at t >= T may only cross-schedule at >= t + lookahead
+// > H, so no cross-shard event can land inside the window that produced
+// it — each shard's window is causally closed and can run concurrently
+// with every other shard's. Mailboxes flush between windows in
+// (at, source shard, source seq) order, which fixes the relative heap
+// seq of simultaneous cross-shard arrivals and makes the merged trace
+// byte-identical across shard schedules.
+
+// splitmix64 is the standard SplitMix64 finalizer, used to derive
+// statistically independent per-shard seeds from one run seed. (The traffic
+// package derives its generator/fault-plan side-streams the same way.)
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ShardSeed derives the deterministic RNG seed of shard i from a run seed.
+// Exposed so components that keep per-shard random state outside the kernel
+// (e.g. per-shard delay models) can draw from the same side-stream family.
+func ShardSeed(seed int64, i int) int64 {
+	return int64(splitmix64(uint64(seed)^uint64(0x5A17+i)) >> 1)
+}
+
+// crossEvent is a timestamped mailbox entry: an event produced on one shard
+// destined for another. Entries are buffered in the producing shard's outbox
+// and flushed between windows.
+type crossEvent struct {
+	at   Time
+	dst  int
+	name string
+	// Exactly one of fn / argFn is set, mirroring the event record.
+	fn    func()
+	argFn func(any)
+	arg   any
+
+	srcShard int
+	srcSeq   uint64 // per-source-shard send order, the final tie-breaker
+}
+
+// Shard is one partition of a ShardedEngine: a complete Engine (heap, clock,
+// RNG) plus a cross-shard outbox. All Engine methods work unchanged for
+// shard-local scheduling; only sends to other shards go through Cross /
+// CrossArg. A Shard must only be driven by its owning ShardedEngine's Run
+// (or externally, one shard at a time).
+type Shard struct {
+	*Engine
+	id       int
+	se       *ShardedEngine
+	outbox   []crossEvent
+	crossSeq uint64
+}
+
+// ID returns the shard's index within its ShardedEngine.
+func (sh *Shard) ID() int { return sh.id }
+
+// Cross schedules fn on shard dst at absolute virtual time at. The contract
+// at >= Now() + Lookahead is what keeps windows causally closed; violating
+// it would let an event land in a window that may already have executed, so
+// it panics loudly instead of corrupting determinism.
+//
+//xchain:hotpath
+func (sh *Shard) Cross(dst int, at Time, name string, fn func()) {
+	sh.crossCheck(dst, at)
+	sh.crossSeq++
+	sh.outbox = append(sh.outbox, crossEvent{
+		at: at, dst: dst, name: name, fn: fn,
+		srcShard: sh.id, srcSeq: sh.crossSeq,
+	})
+}
+
+// CrossArg schedules fn(arg) on shard dst at absolute virtual time at. Like
+// ScheduleArgAt, fn can be a package-level function with per-event state
+// pre-bound in arg so the send allocates nothing beyond the outbox slot.
+//
+//xchain:hotpath
+func (sh *Shard) CrossArg(dst int, at Time, name string, fn func(any), arg any) {
+	sh.crossCheck(dst, at)
+	sh.crossSeq++
+	sh.outbox = append(sh.outbox, crossEvent{
+		at: at, dst: dst, name: name, argFn: fn, arg: arg,
+		srcShard: sh.id, srcSeq: sh.crossSeq,
+	})
+}
+
+//xchain:hotpath
+func (sh *Shard) crossCheck(dst int, at Time) {
+	if dst < 0 || dst >= len(sh.se.shards) {
+		panic("sim: cross-shard send to unknown shard")
+	}
+	if at < sh.Engine.Now()+sh.se.lookahead {
+		panic("sim: cross-shard send inside the lookahead window breaks the conservative barrier")
+	}
+}
+
+// ShardedEngine coordinates n Shards under the conservative window protocol.
+// Construct with NewSharded, obtain shards with Shard(i), schedule work on
+// them, then drive the whole simulation with Run.
+type ShardedEngine struct {
+	shards    []*Shard
+	lookahead Time
+	parallel  bool
+	fired     uint64
+	// mailbox holds collected cross-shard events not yet delivered, kept
+	// sorted by (at, srcShard, srcSeq). Entries are held here — not on the
+	// destination heap — until their firing time enters the current window,
+	// so simultaneous cross-shard arrivals produced in *different* windows
+	// still merge under the one global tie-breaking rule.
+	mailbox []crossEvent
+}
+
+// NewSharded returns a sharded engine with n shards (n < 1 is clamped to 1).
+// Shard i's RNG seed is ShardSeed(seed, i), so different shards draw
+// independent streams and the same (seed, n) always reproduces the same run.
+// The default lookahead is 1 tick — the minimum cross-shard latency netsim
+// guarantees, since delivery delays are clamped to >= 1.
+func NewSharded(seed int64, n int) *ShardedEngine {
+	if n < 1 {
+		n = 1
+	}
+	se := &ShardedEngine{lookahead: 1}
+	se.shards = make([]*Shard, n)
+	for i := range se.shards {
+		se.shards[i] = &Shard{Engine: NewEngine(ShardSeed(seed, i)), id: i, se: se}
+	}
+	return se
+}
+
+// SetLookahead raises the conservative lookahead to l ticks (values < 1 are
+// clamped to 1). A larger lookahead means wider windows — fewer barriers and
+// more parallel work per window — and is sound whenever every cross-shard
+// interaction takes at least l ticks of virtual time (e.g. the minimum
+// delivery delay of the netsim model in force).
+func (se *ShardedEngine) SetLookahead(l Time) {
+	if l < 1 {
+		l = 1
+	}
+	se.lookahead = l
+}
+
+// Lookahead returns the current conservative lookahead.
+func (se *ShardedEngine) Lookahead() Time { return se.lookahead }
+
+// SetParallel chooses whether Run executes each window's shards on parallel
+// goroutines (true) or serially in shard-ID order (false, the default). The
+// choice never affects results — windows are causally closed — only wall
+// time; parallel mode only pays off when GOMAXPROCS > 1.
+func (se *ShardedEngine) SetParallel(on bool) { se.parallel = on }
+
+// Shards returns the number of shards.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard i.
+func (se *ShardedEngine) Shard(i int) *Shard { return se.shards[i] }
+
+// Now returns the maximum virtual clock across shards. Between windows all
+// shard clocks agree; Now is only loosely defined while a window executes.
+func (se *ShardedEngine) Now() Time {
+	var now Time
+	for _, sh := range se.shards {
+		if sh.Engine.Now() > now {
+			now = sh.Engine.Now()
+		}
+	}
+	return now
+}
+
+// EventsFired returns the total events fired across all shards by Run.
+func (se *ShardedEngine) EventsFired() uint64 { return se.fired }
+
+// Drained reports whether every shard's queue, every outbox and the central
+// mailbox are empty.
+func (se *ShardedEngine) Drained() bool {
+	if len(se.mailbox) > 0 {
+		return false
+	}
+	for _, sh := range se.shards {
+		if !sh.Engine.Drained() || len(sh.outbox) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetMetrics attaches instrumentation to every shard. The counters are
+// atomic and shared, so scheduled/fired/canceled aggregate across shards
+// exactly; the watermark gauge is attached to shard 0 only, since one gauge
+// cannot carry several concurrently-advancing clocks.
+func (se *ShardedEngine) SetMetrics(m Metrics) {
+	for i, sh := range se.shards {
+		sm := m
+		if i != 0 {
+			sm.Watermark = nil
+		}
+		sh.Engine.SetMetrics(sm)
+	}
+}
+
+// collect drains every shard outbox into the central mailbox, restoring its
+// (at, source shard, source seq) order. Insertion sort keeps the merge path
+// free of sort.Slice's closure allocation; batches are one window's
+// cross-traffic and the mailbox is already sorted, so the work is near-linear.
+func (se *ShardedEngine) collect() {
+	n := 0
+	for _, sh := range se.shards {
+		n += len(sh.outbox)
+	}
+	if n == 0 {
+		return
+	}
+	for _, sh := range se.shards {
+		se.mailbox = append(se.mailbox, sh.outbox...)
+		for i := range sh.outbox {
+			sh.outbox[i] = crossEvent{}
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+	for i := len(se.mailbox) - n; i < len(se.mailbox); i++ {
+		for j := i; j > 0 && crossLess(&se.mailbox[j], &se.mailbox[j-1]); j-- {
+			se.mailbox[j], se.mailbox[j-1] = se.mailbox[j-1], se.mailbox[j]
+		}
+	}
+}
+
+// deliver schedules every mailbox entry with firing time inside the window
+// onto its destination heap, in mailbox order. Because delivery happens in
+// global (at, srcShard, srcSeq) order, simultaneous cross-shard arrivals get
+// destination-heap seq numbers in exactly that order — the tie-breaking rule
+// that makes merged traces byte-identical regardless of how windows
+// interleaved or which goroutines ran them.
+func (se *ShardedEngine) deliver(horizon Time) {
+	k := 0
+	for k < len(se.mailbox) && se.mailbox[k].at <= horizon {
+		ce := &se.mailbox[k]
+		dst := se.shards[ce.dst].Engine
+		if ce.argFn != nil {
+			dst.ScheduleArgAt(ce.at, ce.name, ce.argFn, ce.arg)
+		} else {
+			dst.ScheduleAt(ce.at, ce.name, ce.fn)
+		}
+		k++
+	}
+	if k > 0 {
+		copy(se.mailbox, se.mailbox[k:])
+		for i := len(se.mailbox) - k; i < len(se.mailbox); i++ {
+			se.mailbox[i] = crossEvent{}
+		}
+		se.mailbox = se.mailbox[:len(se.mailbox)-k]
+	}
+}
+
+func crossLess(a, b *crossEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.srcShard != b.srcShard {
+		return a.srcShard < b.srcShard
+	}
+	return a.srcSeq < b.srcSeq
+}
+
+// Run drives all shards to completion under the conservative window
+// protocol. It returns the final virtual time and the number of events fired
+// during this call. maxEvents, when non-zero, bounds the total fired count;
+// the bound is enforced at window granularity (a window always completes) so
+// that serial and parallel execution stop at the same point.
+func (se *ShardedEngine) Run(maxEvents uint64) (Time, uint64) {
+	var fired uint64
+	for {
+		if maxEvents > 0 && fired >= maxEvents {
+			break
+		}
+		se.collect()
+		t := Never
+		for _, sh := range se.shards {
+			if next := sh.Engine.NextEventTime(); next < t {
+				t = next
+			}
+		}
+		if len(se.mailbox) > 0 && se.mailbox[0].at < t {
+			t = se.mailbox[0].at
+		}
+		if t == Never {
+			break
+		}
+		horizon := t + se.lookahead - 1
+		if horizon < t { // overflow guard near Never
+			horizon = Never - 1
+		}
+		se.deliver(horizon)
+		fired += se.window(horizon)
+	}
+	se.fired += fired
+	return se.Now(), fired
+}
+
+// window runs every shard up to horizon and returns the events fired. In
+// parallel mode each shard gets its own goroutine; shard state is fully
+// isolated (own heap, clock, RNG, outbox) and cross-shard sends only append
+// to the sender's outbox, so the only synchronization needed is the join.
+func (se *ShardedEngine) window(horizon Time) uint64 {
+	if !se.parallel || len(se.shards) == 1 {
+		var fired uint64
+		for _, sh := range se.shards {
+			_, n := sh.Engine.RunUntil(horizon, 0)
+			fired += n
+		}
+		return fired
+	}
+	counts := make([]uint64, len(se.shards))
+	done := make(chan struct{})
+	for i, sh := range se.shards {
+		go func(i int, sh *Shard) {
+			_, counts[i] = sh.Engine.RunUntil(horizon, 0)
+			done <- struct{}{}
+		}(i, sh)
+	}
+	for range se.shards {
+		<-done
+	}
+	var fired uint64
+	for _, n := range counts {
+		fired += n
+	}
+	return fired
+}

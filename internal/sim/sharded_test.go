@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// shardedPingPong builds a 3-shard workload where shards 1 and 2 each run a
+// local event cascade and bounce cross-shard messages through shard 0, then
+// runs it and returns shard 0's observation log. Every delivery is recorded
+// with the destination clock so the log pins both ordering and timing.
+func shardedPingPong(t *testing.T, parallel bool, lookahead Time) (string, uint64) {
+	t.Helper()
+	se := NewSharded(42, 3)
+	se.SetLookahead(lookahead)
+	se.SetParallel(parallel)
+
+	var log strings.Builder
+	record := func(what string) {
+		fmt.Fprintf(&log, "%s@%v\n", what, se.Shard(0).Now())
+	}
+
+	// Shards 1 and 2: a local chain of events, each hop cross-sending a
+	// notification to shard 0 one lookahead ahead.
+	for _, src := range []int{1, 2} {
+		src := src
+		sh := se.Shard(src)
+		var hop func(n int) func()
+		hop = func(n int) func() {
+			return func() {
+				sh.Cross(0, sh.Now()+lookahead, "notify", func() {
+					record(fmt.Sprintf("from%d-hop%d", src, n))
+				})
+				if n < 4 {
+					sh.ScheduleIn(3*Millisecond, "hop", hop(n+1))
+				}
+			}
+		}
+		sh.ScheduleAt(Time(src)*Millisecond, "start", hop(0))
+	}
+	// Shard 0 also has purely local work interleaved with the deliveries.
+	se.Shard(0).ScheduleAt(2*Millisecond, "local", func() { record("local") })
+
+	now, fired := se.Run(0)
+	if !se.Drained() {
+		t.Fatalf("engine not drained at %v", now)
+	}
+	return log.String(), fired
+}
+
+// TestShardedDeterminism proves the merged observation order is byte-stable
+// across repeated runs, serial vs parallel windows, and lookahead widths.
+func TestShardedDeterminism(t *testing.T) {
+	ref, refFired := shardedPingPong(t, false, 1)
+	if ref == "" {
+		t.Fatal("empty observation log")
+	}
+	for i := 0; i < 10; i++ {
+		for _, parallel := range []bool{false, true} {
+			got, fired := shardedPingPong(t, parallel, 1)
+			if got != ref {
+				t.Fatalf("run %d parallel=%v diverged:\n got: %q\nwant: %q", i, parallel, got, ref)
+			}
+			if fired != refFired {
+				t.Fatalf("run %d parallel=%v fired %d events, want %d", i, parallel, fired, refFired)
+			}
+		}
+	}
+}
+
+// TestShardedCrossTieBreak pins the merge layer's tie-breaking rule: two
+// cross-shard sends landing on shard 0 at the identical virtual instant must
+// deliver in (time, source shard, source seq) order, byte-stable across runs
+// and regardless of the order the sends were issued in.
+func TestShardedCrossTieBreak(t *testing.T) {
+	run := func(parallel bool) string {
+		se := NewSharded(7, 3)
+		se.SetParallel(parallel)
+		var log strings.Builder
+		// Shard 2 issues its send from an earlier event than shard 1, and both
+		// shards target the same instant; source shard ID must still win.
+		se.Shard(2).ScheduleAt(1*Millisecond, "send", func() {
+			sh := se.Shard(2)
+			sh.Cross(0, 5*Millisecond, "b", func() { log.WriteString("shard2-first\n") })
+			sh.Cross(0, 5*Millisecond, "b", func() { log.WriteString("shard2-second\n") })
+		})
+		se.Shard(1).ScheduleAt(2*Millisecond, "send", func() {
+			se.Shard(1).Cross(0, 5*Millisecond, "a", func() { log.WriteString("shard1\n") })
+		})
+		se.Run(0)
+		return log.String()
+	}
+	want := "shard1\nshard2-first\nshard2-second\n"
+	for i := 0; i < 10; i++ {
+		for _, parallel := range []bool{false, true} {
+			if got := run(parallel); got != want {
+				t.Fatalf("run %d parallel=%v delivery order %q, want %q", i, parallel, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedLookaheadViolationPanics proves the conservative barrier is
+// enforced: a cross-shard send closer than the lookahead must panic rather
+// than silently break determinism.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	se := NewSharded(1, 2)
+	se.SetLookahead(2 * Millisecond)
+	se.Shard(0).ScheduleAt(1*Millisecond, "bad", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-shard send inside the lookahead window did not panic")
+			}
+		}()
+		se.Shard(0).Cross(1, 1*Millisecond+1, "too-soon", func() {})
+	})
+	se.Run(0)
+}
+
+// TestShardedSeedsIndependent proves shards draw from independent RNG
+// side-streams: the same run seed yields distinct per-shard streams, and the
+// same (seed, shard) pair always yields the same stream.
+func TestShardedSeedsIndependent(t *testing.T) {
+	a := NewSharded(99, 2)
+	b := NewSharded(99, 2)
+	if a.Shard(0).Rand().Int63() == a.Shard(1).Rand().Int63() {
+		t.Error("shards 0 and 1 drew identical first values; side-streams not independent")
+	}
+	// a.Shard(0) has consumed one draw; b.Shard(0) is fresh.
+	b.Shard(0).Rand().Int63()
+	if a.Shard(0).Rand().Int63() != b.Shard(0).Rand().Int63() {
+		t.Error("same (seed, shard) produced different streams")
+	}
+}
+
+// TestShardedMaxEvents proves the fired-event bound stops the run at a
+// window boundary, identically in serial and parallel mode.
+func TestShardedMaxEvents(t *testing.T) {
+	build := func() *ShardedEngine {
+		se := NewSharded(3, 2)
+		for i := 0; i < 2; i++ {
+			sh := se.Shard(i)
+			for k := 1; k <= 20; k++ {
+				sh.ScheduleAt(Time(k)*Millisecond, "tick", func() {})
+			}
+		}
+		return se
+	}
+	serial := build()
+	_, sn := serial.Run(5)
+	parallel := build()
+	parallel.SetParallel(true)
+	_, pn := parallel.Run(5)
+	if sn != pn {
+		t.Fatalf("serial fired %d, parallel fired %d under the same bound", sn, pn)
+	}
+	if sn == 0 || serial.Drained() {
+		t.Fatalf("bound had no effect: fired=%d drained=%v", sn, serial.Drained())
+	}
+}

@@ -24,6 +24,17 @@ type Config struct {
 	// means runtime.NumCPU(); 1 forces fully serial execution (useful as a
 	// speedup baseline in benchmarks).
 	Workers int
+	// Shards partitions the admission timeline itself: payments are assigned
+	// to shards by Index % Shards, each shard replays its subpopulation on
+	// its own sim engine and ledger set, and a deterministic merge
+	// reconstructs the single timeline's observation order (see sharded.go).
+	// Zero defers to Scenario.Shards (whose zero means GOMAXPROCS); negative
+	// or 1 forces the single-timeline path. Like Workers, this is an
+	// execution strategy, never a protocol input: the Result is
+	// byte-identical at every shard count (TestShardedEquivalence).
+	// Liquidity-bounded workloads (Workload.Liquidity > 0) couple payments
+	// through the global admission queue and always run single-timeline.
+	Shards int
 	// Protocols overrides the protocol registry resolving Workload.Mix
 	// names. Nil uses DefaultProtocols.
 	Protocols map[string]core.Protocol
@@ -267,31 +278,45 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 		res.Payments = make([]PaymentResult, w.Payments)
 	}
 
+	S := cfg.shardCount(s, w)
 	var demand map[string]map[string]int64
+	var demandByShard []map[string]map[string]int64
 	var src paymentSource
 	if cfg.Stream {
 		if w.Liquidity <= 0 {
 			// Auto-sizing needs the whole population's worst-case demand; a
 			// dedicated generator pass computes it in O(topology) memory.
-			demand = w.demand(s)
+			if S > 1 {
+				demandByShard = w.demandShards(s, S)
+			} else {
+				demand = w.demand(s)
+			}
 		}
 		src = newStreamSource(s, w, plan, registry, cfg.workers(), rm)
 	} else {
 		payments := w.generate(s)
 		rm.Generated.Add(uint64(len(payments)))
 		if w.Liquidity <= 0 {
-			demand = demandOf(payments)
+			if S > 1 {
+				demandByShard = demandOfShards(payments, S)
+			} else {
+				demand = demandOf(payments)
+			}
 		}
 		subs := simulatePayments(s, plan, payments, registry, cfg.workers(), rm)
 		src = &sliceSource{pays: payments, subs: subs}
 	}
-	res.Book = newLiquidityBook(s, w, demand)
 
 	exemplars := 0
 	if !cfg.keep() {
 		exemplars = cfg.Exemplars
 	}
-	executeTimeline(res, src, w, plan, cfg.keep(), exemplars, s.Metrics, rm)
+	if S > 1 {
+		executeShardedTimeline(res, s, w, plan, src, demandByShard, cfg.keep(), exemplars, s.Metrics, rm, S)
+	} else {
+		res.Book = newLiquidityBook(s, w, demand)
+		executeTimeline(res, src, w, plan, cfg.keep(), exemplars, s.Metrics, rm)
+	}
 	return res, nil
 }
 

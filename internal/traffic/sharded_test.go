@@ -1,0 +1,245 @@
+package traffic
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// shardedEquivalenceWorkload is a population that exercises the merge layer
+// hard: bursty arrivals (many same-instant events), multi-hop routes, and —
+// in the faulted variant — mid-run Byzantine windows whose marks every
+// shard must replay.
+func shardedEquivalenceWorkload(faulted bool) Workload {
+	w := NewWorkload(300)
+	w.Arrival.Rate = 900
+	if faulted {
+		w.Faults = FaultPlan{
+			Fraction: 0.5,
+			From:     5 * sim.Millisecond,
+			Stagger:  30 * sim.Millisecond,
+			Outage:   150 * sim.Millisecond,
+		}
+	}
+	return w
+}
+
+// TestShardedEquivalence is the tentpole acceptance test: the Result of a
+// run must be byte-identical across shard counts {1, 2, 4, NumCPU}, worker
+// counts {1, 4}, streaming and materialised modes, and honest and faulted
+// plans. The reference is the single-timeline serial materialised run.
+func TestShardedEquivalence(t *testing.T) {
+	shardCounts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, faulted := range []bool{false, true} {
+		s := core.NewScenario(8, 42)
+		w := shardedEquivalenceWorkload(faulted)
+		ref, err := RunWith(s, w, Config{Workers: 1, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faulted && (ref.FaultedPayments == 0 || ref.PeakByzantineHeld == 0) {
+			t.Fatalf("faulted reference shows no Byzantine activity:\n%s", ref)
+		}
+		refWealth := ref.Book.SnapshotWealth()
+		for _, shards := range shardCounts {
+			for _, workers := range []int{1, 4} {
+				for _, stream := range []bool{false, true} {
+					cfg := Config{Workers: workers, Shards: shards, Stream: stream, KeepPayments: true}
+					got, err := RunWith(s, w, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tag := map[bool]string{false: "honest", true: "faulted"}[faulted]
+					if got.String() != ref.String() {
+						t.Fatalf("%s shards=%d workers=%d stream=%v diverged:\n got: %s\nwant: %s",
+							tag, shards, workers, stream, got, ref)
+					}
+					if !reflect.DeepEqual(got.Payments, ref.Payments) {
+						t.Fatalf("%s shards=%d workers=%d stream=%v: per-payment records diverged",
+							tag, shards, workers, stream)
+					}
+					if wealth := got.Book.SnapshotWealth(); !reflect.DeepEqual(wealth, refWealth) {
+						t.Fatalf("%s shards=%d workers=%d stream=%v: merged book wealth diverged:\n got: %v\nwant: %v",
+							tag, shards, workers, stream, wealth, refWealth)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEquivalenceRepeated re-runs one sharded configuration several
+// times: goroutine scheduling must never leak into the Result.
+func TestShardedEquivalenceRepeated(t *testing.T) {
+	s := core.NewScenario(8, 42)
+	w := shardedEquivalenceWorkload(true)
+	cfg := Config{Workers: 4, Shards: 4, Stream: true, KeepPayments: true}
+	ref, err := RunWith(s, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := RunWith(s, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != ref.String() || !reflect.DeepEqual(got.Payments, ref.Payments) {
+			t.Fatalf("run %d diverged:\n got: %s\nwant: %s", i, got, ref)
+		}
+	}
+}
+
+// TestShardedExemplarEquivalence covers the aggregates-only streaming path
+// through the merger: the deterministic exemplar reservoir is drawn in
+// settlement order, which the merge must reproduce exactly.
+func TestShardedExemplarEquivalence(t *testing.T) {
+	s := core.NewScenario(6, 9)
+	w := shardedEquivalenceWorkload(false)
+	ref, err := RunWith(s, w, Config{Workers: 1, Shards: 1, Stream: true, Exemplars: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Exemplars) != 16 {
+		t.Fatalf("reference retained %d exemplars, want 16", len(ref.Exemplars))
+	}
+	got, err := RunWith(s, w, Config{Workers: 4, Shards: 4, Stream: true, Exemplars: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != ref.String() {
+		t.Fatalf("aggregates diverged:\n got: %s\nwant: %s", got, ref)
+	}
+	if !reflect.DeepEqual(got.Exemplars, ref.Exemplars) {
+		t.Fatalf("exemplar reservoirs diverged:\n got: %v\nwant: %v", got.Exemplars, ref.Exemplars)
+	}
+}
+
+// TestShardCountResolution pins the shard-count policy: Config overrides
+// Scenario, zero means GOMAXPROCS, liquidity-bounded workloads are forced
+// single-timeline, and the count clamps to population size and maxShards.
+func TestShardCountResolution(t *testing.T) {
+	s := core.NewScenario(4, 1)
+	w := NewWorkload(100)
+	cases := []struct {
+		name      string
+		cfg       Config
+		scenario  int
+		liquidity int64
+		payments  int
+		want      int
+	}{
+		{name: "config wins", cfg: Config{Shards: 3}, scenario: 8, want: 3},
+		{name: "scenario fallback", scenario: 5, want: 5},
+		{name: "negative forces single", cfg: Config{Shards: -1}, scenario: 8, want: 1},
+		{name: "auto is gomaxprocs", want: runtime.GOMAXPROCS(0)},
+		{name: "liquidity forces single", cfg: Config{Shards: 8}, liquidity: 100, want: 1},
+		{name: "clamped to population", cfg: Config{Shards: 50}, payments: 7, want: 7},
+		{name: "clamped to maxShards", cfg: Config{Shards: 1000}, want: maxShards},
+	}
+	for _, c := range cases {
+		sc := s
+		sc.Shards = c.scenario
+		wl := w
+		if c.liquidity > 0 {
+			wl = wl.WithLiquidity(c.liquidity)
+		}
+		if c.payments > 0 {
+			wl.Payments = c.payments
+		}
+		if got := c.cfg.shardCount(sc, wl); got != c.want {
+			t.Errorf("%s: shardCount = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSweepMetricsIsolation is the regression test for the shared-registry
+// seam: Sweep used to copy the Config per cell but share the one
+// cfg.Metrics pointer across concurrently running cells, so live gauges
+// fought each other and counters blurred the cells together. Each cell must
+// get its own labelled registry whose counters match that cell's Result
+// exactly.
+func TestSweepMetricsIsolation(t *testing.T) {
+	w := NewWorkload(120)
+	w.Arrival.Rate = 600
+	points := []Point{
+		{Label: "a", Scenario: core.NewScenario(4, 1), Workload: w},
+		{Label: "b", Scenario: core.NewScenario(6, 2), Workload: w},
+	}
+	outcomes := Sweep(points, Config{Workers: 2, Metrics: metrics.NewRegistry()})
+	if outcomes[0].Metrics == nil || outcomes[1].Metrics == nil {
+		t.Fatal("sweep cells did not receive private registries")
+	}
+	if outcomes[0].Metrics == outcomes[1].Metrics {
+		t.Fatal("concurrent sweep cells share one registry")
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		snap := o.Metrics.Snapshot()
+		counters := map[string]float64{}
+		cellLabelled := false
+		for _, fam := range snap {
+			for _, sample := range fam.Samples {
+				counters[fam.Name] += sample.Value
+				if strings.Contains(sample.Labels, `cell="`+o.Point.Label+`"`) {
+					cellLabelled = true
+				}
+			}
+		}
+		if !cellLabelled {
+			t.Fatalf("cell %q: no sample carries its cell label", o.Point.Label)
+		}
+		if got, want := counters[MetricPaymentsGenerated], float64(o.Result.Total); got != want {
+			t.Fatalf("cell %q: generated counter %v, want %v (cross-cell bleed?)", o.Point.Label, got, want)
+		}
+		if got, want := counters[MetricPaymentsSettled], float64(o.Result.Succeeded); got != want {
+			t.Fatalf("cell %q: settled counter %v, want %v (cross-cell bleed?)", o.Point.Label, got, want)
+		}
+	}
+}
+
+// TestQueueExpiryAttribution pins the queue-expiry drop path. The issue
+// suspected drainQueue of only attributing Queued/QueueWait on re-admission
+// so that expired-after-queueing payments would report Queued=false; the
+// audit found the expiry timer already sets Queued, QueueWait and DropCause
+// before finishing the payment (drainQueue handles re-admitted payments
+// only — a dropped payment never reaches it). This test keeps that
+// attribution from regressing: every dropped payment in a starved honest
+// run must carry its full queueing history.
+func TestQueueExpiryAttribution(t *testing.T) {
+	s := core.NewScenario(3, 11)
+	w := NewWorkload(200)
+	w.Arrival.Rate = 2000
+	w = w.WithLiquidity(300).WithQueue(500*sim.Millisecond, 0)
+
+	res, err := Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("starved workload dropped nothing:\n%s", res)
+	}
+	for _, p := range res.Payments {
+		if p.Status != StatusDropped {
+			continue
+		}
+		if !p.Queued {
+			t.Fatalf("expired payment %s not marked Queued: %+v", p.ID, p)
+		}
+		if p.QueueWait <= 0 || p.QueueWait != p.End-p.Arrival {
+			t.Fatalf("expired payment %s has inconsistent QueueWait: %+v", p.ID, p)
+		}
+		if p.DropCause != CauseCapacity {
+			t.Fatalf("honest expiry misattributed to %q: %+v", p.DropCause, p)
+		}
+	}
+}

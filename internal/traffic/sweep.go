@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // Point is one cell of a traffic sweep: a labelled (scenario, workload)
@@ -14,11 +15,19 @@ type Point struct {
 	Workload Workload
 }
 
-// Outcome pairs a sweep point with its traffic result.
+// Outcome pairs a sweep point with its traffic result. Metrics is the
+// cell's private registry (nil unless the sweep ran with Config.Metrics):
+// cells run concurrently, so they must not share one registry — a shared
+// gauge toggled by two cells at once reads as whichever cell wrote last,
+// and shared counters blur the cells together. Each cell therefore gets
+// its own registry labelled cell="<label>", and callers that want one
+// scrape merge the outcome snapshots (metrics.WriteProm distinguishes the
+// cells by the constant label).
 type Outcome struct {
-	Point  Point
-	Result *Result
-	Err    error
+	Point   Point
+	Result  *Result
+	Err     error
+	Metrics *metrics.Registry
 }
 
 // Sweep executes every point across a worker pool of cfg.Workers goroutines
@@ -28,14 +37,24 @@ type Outcome struct {
 // within them — so a sweep keeps exactly cfg.Workers cores busy and every
 // cell's Result is identical to a standalone serial run. Streaming and
 // retention settings (Stream, KeepPayments, Exemplars) carry over to every
-// cell unchanged.
+// cell unchanged; Config.Metrics is replaced per cell by a labelled private
+// registry returned in Outcome.Metrics (see Outcome).
 func Sweep(points []Point, cfg Config) []Outcome {
 	out := make([]Outcome, len(points))
 	perCell := cfg
 	perCell.Workers = 1
+	perCell.Shards = 1 // the pool parallelises across cells, not within them
 	forEachIndex(len(points), cfg.workers(), func(idx int) {
-		r, err := RunWith(points[idx].Scenario, points[idx].Workload, perCell)
-		out[idx] = Outcome{Point: points[idx], Result: r, Err: err}
+		cellCfg := perCell
+		if cfg.Metrics != nil {
+			label := points[idx].Label
+			if label == "" {
+				label = fmt.Sprintf("cell%d", idx)
+			}
+			cellCfg.Metrics = metrics.NewLabeledRegistry("cell", label)
+		}
+		r, err := RunWith(points[idx].Scenario, points[idx].Workload, cellCfg)
+		out[idx] = Outcome{Point: points[idx], Result: r, Err: err, Metrics: cellCfg.Metrics}
 	})
 	return out
 }
