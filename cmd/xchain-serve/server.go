@@ -2,9 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -155,9 +159,10 @@ type run struct {
 	Req     runRequest
 	Reg     *metrics.Registry
 	Started time.Time
+	Ctl     *traffic.Control
 
 	mu       sync.Mutex
-	status   string // "running", "done", "failed"
+	status   string // "running", "done", "failed", "interrupted"
 	errMsg   string
 	summary  string
 	result   *runSummary
@@ -229,24 +234,60 @@ func (r *run) progress() progress {
 	}
 }
 
-// server owns the run table and the base (process-wide) registry.
-type server struct {
-	mux  *http.ServeMux
-	base *metrics.Registry
-
-	mu    sync.Mutex
-	runs  map[string]*run
-	order []string // creation order
-	next  int
+// serverOptions tunes the hardened surface: run persistence, checkpoint
+// cadence, admission control and the drain deadline. The zero value is the
+// original observation-only server (no state dir, NumCPU concurrent runs).
+type serverOptions struct {
+	withPprof bool
+	// stateDir, when non-empty, makes accepted runs durable: the request is
+	// persisted before the 202 goes out, the run checkpoints to
+	// <id>.ckpt every ckptEvery payments, and a completion marker
+	// <id>.done.json retires it. A restarted server re-adopts runs that
+	// have a request but no marker, under their original IDs.
+	stateDir  string
+	ckptEvery int
+	// maxRuns bounds concurrently executing runs; excess POSTs get 429 with
+	// Retry-After rather than queueing unboundedly. <=0 means NumCPU.
+	maxRuns int
+	// drainTimeout bounds how long drain waits for interrupted runs to
+	// reach a payment boundary and write their final checkpoint.
+	drainTimeout time.Duration
 }
 
-// newServer builds the HTTP surface. The base registry carries process-wide
-// families (the sig crypto caches and the server's own run counter); each
-// run gets its own registry labelled run="<id>" so scrapes tell runs apart.
+// server owns the run table and the base (process-wide) registry.
+type server struct {
+	mux      *http.ServeMux
+	base     *metrics.Registry
+	opts     serverOptions
+	accepted *metrics.Counter
+	rejected *metrics.Counter
+
+	mu       sync.Mutex
+	runs     map[string]*run
+	order    []string // creation order
+	next     int
+	active   int
+	draining bool
+	wg       sync.WaitGroup // one per executing run goroutine
+}
+
+// newServer builds the plain HTTP surface (tests and the zero-config path).
 func newServer(withPprof bool) *server {
+	return newServerWith(serverOptions{withPprof: withPprof})
+}
+
+// newServerWith builds the HTTP surface. The base registry carries
+// process-wide families (the sig crypto caches and the server's own run and
+// admission counters); each run gets its own registry labelled run="<id>" so
+// scrapes tell runs apart.
+func newServerWith(opts serverOptions) *server {
+	if opts.maxRuns <= 0 {
+		opts.maxRuns = runtime.NumCPU()
+	}
 	s := &server{
 		mux:  http.NewServeMux(),
 		base: metrics.NewRegistry(),
+		opts: opts,
 		runs: map[string]*run{},
 	}
 	sig.RegisterMetrics(s.base)
@@ -254,6 +295,13 @@ func newServer(withPprof bool) *server {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(len(s.runs))
+	})
+	s.accepted = s.base.Counter("xchain_serve_runs_accepted_total", "Run requests accepted (202).")
+	s.rejected = s.base.Counter("xchain_serve_runs_rejected_total", "Run requests rejected for saturation (429) or drain (503).")
+	s.base.GaugeFunc("xchain_serve_runs_active", "Traffic runs currently executing.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.active)
 	})
 
 	s.mux.HandleFunc("POST /runs", s.handleStartRun)
@@ -264,7 +312,7 @@ func newServer(withPprof bool) *server {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	if withPprof {
+	if opts.withPprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
@@ -311,59 +359,40 @@ func (s *server) handleStartRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
+	if s.draining {
+		s.rejected.Inc()
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining, not accepting runs")
+		return
+	}
+	if s.active >= s.opts.maxRuns {
+		s.rejected.Inc()
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "run capacity saturated (%d active); retry later", s.opts.maxRuns)
+		return
+	}
 	s.next++
 	id := fmt.Sprintf("run-%04d", s.next)
-	ru := &run{
-		ID:      id,
-		Req:     req,
-		Reg:     metrics.NewLabeledRegistry("run", id),
-		Started: time.Now(),
-		status:  "running",
-	}
-	s.runs[id] = ru
-	s.order = append(s.order, id)
+	ru := s.register(id, req)
 	s.mu.Unlock()
 
-	cfg.Metrics = ru.Reg
-	go func() {
-		res, err := traffic.RunWith(scn, wl, cfg)
-		ru.mu.Lock()
-		defer ru.mu.Unlock()
-		ru.finished = time.Now()
-		if err != nil {
-			ru.status = "failed"
-			ru.errMsg = err.Error()
+	// Persist the request before the 202 goes out: an accepted run must
+	// survive a crash of this process.
+	if s.opts.stateDir != "" {
+		if err := s.persistRequest(ru); err != nil {
+			s.mu.Lock()
+			s.active--
+			delete(s.runs, id)
+			s.order = s.order[:len(s.order)-1]
+			s.mu.Unlock()
+			s.wg.Done()
+			writeError(w, http.StatusInternalServerError, "cannot persist run: %v", err)
 			return
 		}
-		ru.status = "done"
-		ru.summary = res.String()
-		ru.result = &runSummary{
-			Total:        res.Total,
-			Succeeded:    res.Succeeded,
-			Failed:       res.Failed,
-			Rejected:     res.Rejected,
-			Dropped:      res.Dropped,
-			Errored:      res.Errored,
-			SuccessRate:  res.SuccessRate,
-			Throughput:   res.Throughput,
-			MakespanMs:   res.Makespan.Millis(),
-			LatencyP50Ms: res.LatencyP50Ms,
-			LatencyP99Ms: res.LatencyP99Ms,
-			VolumeMoved:  res.VolumeMoved,
-			PeakInFlight: res.PeakInFlight,
-			AuditOK:      res.AuditErr == nil,
-			PendingLocks: res.PendingLocks,
-
-			ByzantineConnectors: res.ByzantineConnectors,
-			FaultedPayments:     res.FaultedPayments,
-			DroppedFaulted:      res.DroppedFaulted,
-			DroppedCapacity:     res.DroppedCapacity,
-			PeakByzantineHeld:   res.PeakByzantineHeld,
-			SafetyViolations:    res.SafetyViolations,
-			SafetySample:        res.SafetySample,
-			CascadeOK:           res.CascadeErr == nil,
-		}
-	}()
+	}
+	s.accepted.Inc()
+	go s.execute(ru, scn, wl, s.runConfig(ru, cfg))
 
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":      id,
@@ -371,6 +400,254 @@ func (s *server) handleStartRun(w http.ResponseWriter, r *http.Request) {
 		"run":     "/runs/" + id,
 		"metrics": "/metrics",
 	})
+}
+
+// register creates the run's table entry. Callers hold s.mu. The matching
+// wg.Done/active-- happens when execute returns (or on persist failure).
+func (s *server) register(id string, req runRequest) *run {
+	ru := &run{
+		ID:      id,
+		Req:     req,
+		Reg:     metrics.NewLabeledRegistry("run", id),
+		Started: time.Now(),
+		Ctl:     &traffic.Control{},
+		status:  "running",
+	}
+	s.runs[id] = ru
+	s.order = append(s.order, id)
+	s.active++
+	s.wg.Add(1)
+	return ru
+}
+
+// runConfig attaches the server-owned execution knobs: the live registry,
+// the interrupt control, and (with a state dir) the checkpoint file.
+func (s *server) runConfig(ru *run, cfg traffic.Config) traffic.Config {
+	cfg.Metrics = ru.Reg
+	cfg.Control = ru.Ctl
+	if s.opts.stateDir != "" {
+		cfg.CheckpointPath = s.ckptPath(ru.ID)
+		cfg.CheckpointEvery = s.opts.ckptEvery
+	}
+	return cfg
+}
+
+func (s *server) reqPath(id string) string  { return filepath.Join(s.opts.stateDir, id+".req.json") }
+func (s *server) ckptPath(id string) string { return filepath.Join(s.opts.stateDir, id+".ckpt") }
+func (s *server) donePath(id string) string { return filepath.Join(s.opts.stateDir, id+".done.json") }
+
+// writeFileAtomic writes via a temp file + rename so a crash never leaves a
+// torn state file for recovery to trip over.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // gone after the rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func (s *server) persistRequest(ru *run) error {
+	raw, err := json.MarshalIndent(ru.Req, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(s.reqPath(ru.ID), raw)
+}
+
+// execute runs the traffic engine to completion (or interruption) and
+// records the outcome. With a state dir, a finished run gets a durable
+// completion marker and its checkpoint retired; an interrupted run keeps
+// both files so a restarted server resumes it under the same ID.
+func (s *server) execute(ru *run, scn core.Scenario, wl traffic.Workload, cfg traffic.Config) {
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	res, err := traffic.RunWith(scn, wl, cfg)
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	ru.finished = time.Now()
+	switch {
+	case errors.Is(err, traffic.ErrInterrupted):
+		ru.status = "interrupted"
+		ru.errMsg = "interrupted by shutdown; checkpointed for restart recovery"
+		return
+	case err != nil:
+		ru.status = "failed"
+		ru.errMsg = err.Error()
+	default:
+		ru.status = "done"
+		ru.summary = res.String()
+		ru.result = summarize(res)
+	}
+	if s.opts.stateDir != "" {
+		s.retire(ru)
+	}
+}
+
+// retire marks a run complete on disk (done or failed — both are final:
+// results are deterministic, so a failed run would fail again) and removes
+// its now-redundant checkpoint. Callers hold ru.mu.
+func (s *server) retire(ru *run) {
+	marker := map[string]any{"status": ru.status}
+	if ru.errMsg != "" {
+		marker["error"] = ru.errMsg
+	}
+	if ru.result != nil {
+		marker["result"] = ru.result
+		marker["summary"] = ru.summary
+	}
+	raw, err := json.MarshalIndent(marker, "", "  ")
+	if err == nil {
+		err = writeFileAtomic(s.donePath(ru.ID), raw)
+	}
+	if err != nil {
+		// The run stays resumable; recovery will redo the tail and
+		// rewrite the marker.
+		fmt.Fprintf(os.Stderr, "xchain-serve: cannot retire %s: %v\n", ru.ID, err)
+		return
+	}
+	os.Remove(s.ckptPath(ru.ID)) //nolint:errcheck // stale ckpt is harmless
+}
+
+// summarize renders a finished Result for the JSON API.
+func summarize(res *traffic.Result) *runSummary {
+	return &runSummary{
+		Total:        res.Total,
+		Succeeded:    res.Succeeded,
+		Failed:       res.Failed,
+		Rejected:     res.Rejected,
+		Dropped:      res.Dropped,
+		Errored:      res.Errored,
+		SuccessRate:  res.SuccessRate,
+		Throughput:   res.Throughput,
+		MakespanMs:   res.Makespan.Millis(),
+		LatencyP50Ms: res.LatencyP50Ms,
+		LatencyP99Ms: res.LatencyP99Ms,
+		VolumeMoved:  res.VolumeMoved,
+		PeakInFlight: res.PeakInFlight,
+		AuditOK:      res.AuditErr == nil,
+		PendingLocks: res.PendingLocks,
+
+		ByzantineConnectors: res.ByzantineConnectors,
+		FaultedPayments:     res.FaultedPayments,
+		DroppedFaulted:      res.DroppedFaulted,
+		DroppedCapacity:     res.DroppedCapacity,
+		PeakByzantineHeld:   res.PeakByzantineHeld,
+		SafetyViolations:    res.SafetyViolations,
+		SafetySample:        res.SafetySample,
+		CascadeOK:           res.CascadeErr == nil,
+	}
+}
+
+// recover re-adopts persisted runs from the state dir: every <id>.req.json
+// without a completion marker is re-registered under its original ID and
+// resumed from its checkpoint (or restarted from scratch when none was
+// written — determinism makes the redo byte-identical). Completed runs only
+// advance the ID counter so new runs never collide with retired ones.
+func (s *server) recover() error {
+	if s.opts.stateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.opts.stateDir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(s.opts.stateDir)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".req.json") {
+			ids = append(ids, strings.TrimSuffix(name, ".req.json"))
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		// Keep fresh IDs strictly above every persisted one, retired or not.
+		var seq int
+		if _, err := fmt.Sscanf(id, "run-%d", &seq); err == nil && seq > s.next {
+			s.next = seq
+		}
+		if _, err := os.Stat(s.donePath(id)); err == nil {
+			continue // retired
+		}
+		raw, err := os.ReadFile(s.reqPath(id))
+		if err != nil {
+			return fmt.Errorf("recover %s: %v", id, err)
+		}
+		var req runRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return fmt.Errorf("recover %s: corrupt request: %v", id, err)
+		}
+		req.normalize()
+		scn, wl, cfg, err := req.build()
+		if err != nil {
+			return fmt.Errorf("recover %s: %v", id, err)
+		}
+		s.mu.Lock()
+		ru := s.register(id, req)
+		s.mu.Unlock()
+		cfg = s.runConfig(ru, cfg)
+		// A corrupt or torn checkpoint is rejected by its checksum; the run
+		// then redoes the whole workload, which is safe (same Result).
+		if sn, err := traffic.LoadSnapshot(s.ckptPath(id)); err == nil {
+			cfg.Resume = sn
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "xchain-serve: %s: ignoring unusable checkpoint: %v\n", id, err)
+		}
+		fmt.Fprintf(os.Stderr, "xchain-serve: recovering %s (resume at payment %d of %d)\n", id, resumeIndex(cfg.Resume), wl.Payments)
+		go s.execute(ru, scn, wl, cfg)
+	}
+	return nil
+}
+
+func resumeIndex(sn *traffic.RunSnapshot) int {
+	if sn == nil {
+		return 0
+	}
+	return sn.NextIndex
+}
+
+// drain stops admission, interrupts every executing run (each writes a
+// final checkpoint when configured) and waits up to the drain timeout for
+// the run goroutines to settle. Idempotent; safe before Shutdown.
+func (s *server) drain() bool {
+	s.mu.Lock()
+	s.draining = true
+	for _, id := range s.order {
+		s.runs[id].Ctl.Interrupt()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timeout := s.opts.drainTimeout
+	if timeout <= 0 {
+		timeout = 20 * time.Second
+	}
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
 }
 
 // runView renders one run for the JSON API.

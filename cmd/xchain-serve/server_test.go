@@ -6,9 +6,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/traffic"
 )
 
 // post starts a run and returns its id.
@@ -75,7 +79,9 @@ func waitDone(t *testing.T, ts *httptest.Server, id string) map[string]any {
 // streaming), per-run progress, the runs listing, and a /metrics scrape
 // covering the sim, net, traffic, ledger and sig families with run labels.
 func TestServeEndToEnd(t *testing.T) {
-	ts := httptest.NewServer(newServer(false))
+	// Explicit maxRuns: the default is NumCPU, which on a single-core
+	// machine would 429 the second concurrent run.
+	ts := httptest.NewServer(newServerWith(serverOptions{maxRuns: 4}))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -247,6 +253,177 @@ func TestServeValidation(t *testing.T) {
 	}
 	if code := get(t, ts, "/runs/run-9999", nil); code != http.StatusNotFound {
 		t.Errorf("missing run returned %d, want 404", code)
+	}
+}
+
+// TestServeBackpressure saturates a one-slot server: the second POST gets
+// 429 with Retry-After, the admission counters reach /metrics, and after
+// drain() further POSTs get 503 while the in-flight run reports
+// "interrupted".
+func TestServeBackpressure(t *testing.T) {
+	srv := newServerWith(serverOptions{maxRuns: 1, drainTimeout: 30 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Big enough to still be executing while we probe the full surface.
+	id := post(t, ts, `{"escrows": 3, "payments": 2000000, "rate": 5000, "stream": true, "crypto": "hmac"}`)
+
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(`{"payments": 10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST = %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After header")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	scrape := string(body)
+	for _, want := range []string{
+		"xchain_serve_runs_accepted_total 1",
+		"xchain_serve_runs_rejected_total 1",
+		"xchain_serve_runs_active 1",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q:\n%s", want, firstLines(scrape, 40))
+		}
+	}
+
+	if !srv.drain() {
+		t.Fatal("drain timed out")
+	}
+	v := waitDone(t, ts, id)
+	if v["status"] != "interrupted" {
+		t.Errorf("drained run status %v, want interrupted", v["status"])
+	}
+
+	resp, err = http.Post(ts.URL+"/runs", "application/json", strings.NewReader(`{"payments": 10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeCheckpointRecovery is the crash-recovery path end to end: a
+// persisted run is interrupted mid-flight by drain (leaving request +
+// checkpoint, no completion marker), a second server over the same state
+// dir re-adopts it under its original ID, resumes from the checkpoint and
+// finishes with exactly the summary an uninterrupted run produces.
+func TestServeCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := serverOptions{stateDir: dir, ckptEvery: 250, maxRuns: 2, drainTimeout: 30 * time.Second}
+
+	srv1 := newServerWith(opts)
+	if err := srv1.recover(); err != nil {
+		t.Fatalf("recover over empty dir: %v", err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	body := `{"escrows": 3, "payments": 10000, "rate": 3000, "stream": true, "crypto": "hmac", "mix": "timelock=0.5,htlc=0.5"}`
+	id := post(t, ts1, body)
+
+	// Wait for a periodic checkpoint, then pull the plug mid-run.
+	ckpt := filepath.Join(dir, id+".ckpt")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if sn, err := traffic.LoadSnapshot(ckpt); err == nil && sn.NextIndex > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic checkpoint appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !srv1.drain() {
+		t.Fatal("drain timed out")
+	}
+	v := waitDone(t, ts1, id)
+	ts1.Close()
+	interrupted := v["status"] == "interrupted"
+
+	if _, err := os.Stat(filepath.Join(dir, id+".req.json")); err != nil {
+		t.Fatalf("request not persisted: %v", err)
+	}
+	if interrupted {
+		if _, err := os.Stat(ckpt); err != nil {
+			t.Fatalf("interrupted run left no checkpoint: %v", err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".done.json")); err == nil {
+			t.Fatal("interrupted run has a completion marker")
+		}
+	}
+
+	srv2 := newServerWith(opts)
+	if err := srv2.recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	v2 := waitDone(t, ts2, id)
+	if v2["status"] != "done" {
+		t.Fatalf("recovered run ended %v: %v", v2["status"], v2["error"])
+	}
+	result := v2["result"].(map[string]any)
+	if result["total"] != float64(10000) || result["audit_ok"] != true || result["pending_locks"] != float64(0) {
+		t.Fatalf("recovered run result wrong: %v", result)
+	}
+
+	// Byte-identical to the uninterrupted run: determinism makes the
+	// checkpoint-resume invisible in the Result.
+	var req runRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	req.normalize()
+	scn, wl, cfg, err := req.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := traffic.RunWith(scn, wl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2["summary"] != res.String() {
+		t.Errorf("recovered summary differs from direct run:\n%v\n--\n%s", v2["summary"], res)
+	}
+
+	// The run is retired on disk and its ID is never reissued.
+	if _, err := os.Stat(filepath.Join(dir, id+".done.json")); err != nil {
+		t.Fatalf("finished run has no completion marker: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err == nil {
+		t.Error("retired run still has a checkpoint")
+	}
+	id2 := post(t, ts2, `{"payments": 10, "crypto": "hmac"}`)
+	if id2 == id {
+		t.Fatalf("run ID %s reissued after recovery", id2)
+	}
+	if v := waitDone(t, ts2, id2); v["status"] != "done" {
+		t.Fatalf("follow-up run ended %v", v["status"])
+	}
+
+	// A third server sees only retired work: nothing to re-adopt.
+	srv3 := newServerWith(opts)
+	if err := srv3.recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	srv3.mu.Lock()
+	adopted := len(srv3.runs)
+	srv3.mu.Unlock()
+	if adopted != 0 {
+		t.Errorf("third server adopted %d retired runs", adopted)
 	}
 }
 

@@ -37,6 +37,13 @@
 //	-stream            bounded-memory pipeline: peak memory independent of
 //	                   -payments (aggregates only; identical counts/rates)
 //	-exemplars 10      payments kept as a reservoir sample with -stream
+//	-checkpoint ""     write a crash-safe checkpoint to this file (atomic
+//	                   write+rename; resume with -resume)
+//	-checkpoint-every  write the checkpoint every N admitted payments
+//	                   (requires -checkpoint; 0 = only on interruption)
+//	-resume ""         resume an interrupted run from this checkpoint file;
+//	                   the flags must rebuild the exact scenario/workload the
+//	                   snapshot was taken under (enforced by config hash)
 //	-sweep-seeds 0     additionally sweep this many seeds in parallel
 //	-crypto ed25519    signature backend: ed25519 (default), hmac (identical
 //	                   aggregates, orders of magnitude less signing CPU)
@@ -102,6 +109,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shards      = fs.Int("shards", 0, "admission-timeline shards (0 = one per CPU, 1 = single timeline; results are identical at any count)")
 		stream      = fs.Bool("stream", false, "bounded-memory streaming pipeline (aggregates only)")
 		exemplars   = fs.Int("exemplars", 10, "payments kept as a reservoir sample with -stream")
+		ckptPath    = fs.String("checkpoint", "", "write a crash-safe checkpoint to this file (resume with -resume)")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "write the checkpoint every N admitted payments (requires -checkpoint)")
+		resumePath  = fs.String("resume", "", "resume an interrupted run from this checkpoint file")
 		sweepSeeds  = fs.Int("sweep-seeds", 0, "additionally sweep this many seeds in parallel")
 		crypto      = fs.String("crypto", "", "signature backend: ed25519 (default), hmac")
 		cryptoStats = fs.Bool("crypto-stats", false, "print key-cache and verification-memo counters after the run")
@@ -175,6 +185,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := xchainpay.TrafficConfig{Workers: *workers, Shards: *shards, Stream: *stream, Exemplars: *exemplars, Crypto: *crypto}
+	if *ckptPath != "" || *ckptEvery > 0 || *resumePath != "" {
+		if *sweepSeeds > 1 {
+			fmt.Fprintf(stderr, "xchain-traffic: -checkpoint/-resume cannot be combined with -sweep-seeds\n")
+			return 2
+		}
+		cfg.CheckpointPath = *ckptPath
+		cfg.CheckpointEvery = *ckptEvery
+		if *resumePath != "" {
+			// Resuming with periodic checkpoints but no explicit -checkpoint
+			// keeps writing to the file being resumed from.
+			if cfg.CheckpointPath == "" && cfg.CheckpointEvery > 0 {
+				cfg.CheckpointPath = *resumePath
+			}
+			sn, err := xchainpay.LoadTrafficSnapshot(*resumePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "xchain-traffic: cannot resume from %s: %v\n", *resumePath, err)
+				return 1
+			}
+			cfg.Resume = sn
+		}
+	}
 	var stopProgress func()
 	if *progress > 0 {
 		reg := metrics.NewRegistry()
@@ -231,6 +262,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	res, err := xchainpay.RunTrafficWith(s, w, cfg)
 	if err != nil {
+		var mm *xchainpay.TrafficConfigMismatchError
+		if errors.As(err, &mm) {
+			fmt.Fprintf(stderr, "xchain-traffic: %v\n", err)
+			fmt.Fprintf(stderr, "xchain-traffic: the -resume snapshot was taken under a different scenario/workload than the current flags rebuild; rerun with the original flags. The snapshot's embedded config:\n%s\n", mm.EmbeddedConfig())
+			return 1
+		}
 		fmt.Fprintf(stderr, "xchain-traffic: %v\n", err)
 		return 1
 	}

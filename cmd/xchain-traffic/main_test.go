@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -127,6 +129,69 @@ func TestRunProgress(t *testing.T) {
 		if !strings.Contains(progress, want) {
 			t.Errorf("progress output missing %q:\n%s", want, progress)
 		}
+	}
+}
+
+// A run with -checkpoint-every leaves a resumable snapshot behind, and
+// resuming it with the same flags reproduces the uninterrupted summary
+// byte for byte. Resuming under different flags is an actionable error,
+// not a panic, and prints the snapshot's embedded config.
+func TestRunCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	flags := []string{"-n", "3", "-payments", "400", "-rate", "1500", "-stream", "-crypto", "hmac", "-mix", "timelock=0.5,htlc=0.5"}
+
+	var control, errOut strings.Builder
+	if code := run(flags, &control, &errOut); code != 0 {
+		t.Fatalf("control run failed (exit %d): %s", code, errOut.String())
+	}
+
+	// The periodic snapshot survives the completed run: the final write
+	// happens at the last multiple of -checkpoint-every before the end.
+	var out1 strings.Builder
+	errOut.Reset()
+	if code := run(append([]string{"-checkpoint", ckpt, "-checkpoint-every", "150"}, flags...), &out1, &errOut); code != 0 {
+		t.Fatalf("checkpointed run failed (exit %d): %s", code, errOut.String())
+	}
+	if out1.String() != control.String() {
+		t.Errorf("checkpoint cadence changed the summary:\n%s\n--\n%s", out1.String(), control.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint left behind: %v", err)
+	}
+
+	var resumed strings.Builder
+	errOut.Reset()
+	if code := run(append([]string{"-resume", ckpt}, flags...), &resumed, &errOut); code != 0 {
+		t.Fatalf("resume failed (exit %d): %s", code, errOut.String())
+	}
+	if resumed.String() != control.String() {
+		t.Errorf("resumed summary differs from control:\n%s\n--\n%s", resumed.String(), control.String())
+	}
+
+	// Config drift: same snapshot, different seed.
+	var out2, mismatch strings.Builder
+	if code := run(append([]string{"-resume", ckpt, "-seed", "43"}, flags...), &out2, &mismatch); code != 1 {
+		t.Fatalf("mismatched resume should exit 1, got %d: %s", code, mismatch.String())
+	}
+	for _, want := range []string{"different scenario/workload", `"seed": 42`} {
+		if !strings.Contains(mismatch.String(), want) {
+			t.Errorf("mismatch diagnostics missing %q:\n%s", want, mismatch.String())
+		}
+	}
+
+	// Checkpointing is a single-run feature.
+	var out3, comboErr strings.Builder
+	if code := run(append([]string{"-checkpoint", ckpt, "-sweep-seeds", "3"}, flags...), &out3, &comboErr); code != 2 {
+		t.Errorf("-checkpoint with -sweep-seeds should exit 2, got %d", code)
+	}
+
+	// A missing snapshot is a load error, not a fresh start.
+	var out4, loadErr strings.Builder
+	if code := run(append([]string{"-resume", filepath.Join(t.TempDir(), "nope.ckpt")}, flags...), &out4, &loadErr); code != 1 {
+		t.Errorf("missing snapshot should exit 1, got %d", code)
+	}
+	if !strings.Contains(loadErr.String(), "cannot resume") {
+		t.Errorf("load error not actionable:\n%s", loadErr.String())
 	}
 }
 

@@ -124,6 +124,7 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/deals":       true,
 	"repro/internal/scenariogen": true,
 	"repro/internal/check":       true,
+	"repro/internal/checkpoint":  true,
 	// Not named by the original contract list but equally inside the
 	// deterministic world: local clocks, traces, adversary behaviours, the
 	// exhaustive explorer and the stats reductions all run under virtual

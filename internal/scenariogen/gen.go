@@ -143,6 +143,11 @@ func genTraffic(rng *rand.Rand, sp *Spec, violating bool) {
 		ts.Liquidity = (sp.Base + sp.Commission*int64(sp.N)) * int64(2+rng.Intn(6))
 		ts.QueuePatience = sim.Time(200+rng.Intn(1800)) * sim.Millisecond
 	}
+	if rng.Intn(2) == 0 && ts.Payments > 1 {
+		// Exercise the checkpoint arm of the determinism oracle: interrupt,
+		// snapshot, resume, and demand a byte-identical Result.
+		ts.CheckpointAt = 1 + rng.Intn(ts.Payments-1)
+	}
 	if violating {
 		ts.FaultFraction = []float64{0.25, 0.34, 0.5}[rng.Intn(3)]
 		if rng.Intn(2) == 0 {

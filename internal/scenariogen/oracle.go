@@ -1,7 +1,10 @@
 package scenariogen
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -269,6 +272,49 @@ func runTraffic(sp Spec, out *Outcome) {
 		out.Violations = append(out.Violations, Violation{
 			Kind:   KindDeterminism,
 			Detail: "streaming 4-worker run diverged from the serial materialised run",
+		})
+	}
+	if at := sp.Traffic.CheckpointAt; at > 0 && at < w.Payments {
+		checkCheckpoint(s, w, mat.String(), at, out)
+	}
+}
+
+// checkCheckpoint is the checkpoint arm of the determinism oracle: interrupt
+// the run at payment `at`, snapshot it to disk, resume the snapshot in a new
+// engine, and demand the stitched Result be byte-identical to the
+// uninterrupted serial run.
+func checkCheckpoint(s core.Scenario, w traffic.Workload, want string, at int, out *Outcome) {
+	dir, err := os.MkdirTemp("", "scenariogen-ckpt-*")
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindEngine, Detail: "checkpoint dir: " + err.Error()})
+		return
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck // temp dir
+	path := filepath.Join(dir, "run.ckpt")
+	cfg := traffic.Config{Workers: 2, Stream: true, KeepPayments: true, CheckpointPath: path, InterruptAt: at}
+	if _, err := traffic.RunWith(s, w, cfg); !errors.Is(err, traffic.ErrInterrupted) {
+		out.Violations = append(out.Violations, Violation{
+			Kind:   KindDeterminism,
+			Detail: fmt.Sprintf("interrupting at payment %d did not stop the run: %v", at, err),
+		})
+		return
+	}
+	sn, err := traffic.LoadSnapshot(path)
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindDeterminism, Detail: "checkpoint unloadable: " + err.Error()})
+		return
+	}
+	cfg.InterruptAt = 0
+	cfg.Resume = sn
+	res, err := traffic.RunWith(s, w, cfg)
+	if err != nil {
+		out.Violations = append(out.Violations, Violation{Kind: KindDeterminism, Detail: "resumed run errored: " + err.Error()})
+		return
+	}
+	if res.String() != want {
+		out.Violations = append(out.Violations, Violation{
+			Kind:   KindDeterminism,
+			Detail: fmt.Sprintf("run resumed from a payment-%d checkpoint diverged from the uninterrupted run", at),
 		})
 	}
 }

@@ -323,15 +323,35 @@ func TestOracleTrafficByzantineKeepsAggregateSafety(t *testing.T) {
 	}
 }
 
+// TestOracleTrafficCheckpointEquivalence exercises the checkpoint arm of the
+// determinism oracle: with CheckpointAt set, Run interrupts, snapshots,
+// resumes and compares against the uninterrupted result — honest and
+// Byzantine alike must come back clean.
+func TestOracleTrafficCheckpointEquivalence(t *testing.T) {
+	sp := trafficSpec()
+	sp.Traffic.CheckpointAt = 23
+	if out := Run(sp); !out.OK() {
+		t.Fatalf("honest checkpointed traffic violated the oracle: %v", out.Violations)
+	}
+	sp = trafficSpec()
+	sp.Traffic.CheckpointAt = 41
+	sp.Traffic.FaultFraction = 0.34
+	if out := Run(sp); !out.OK() {
+		t.Fatalf("Byzantine checkpointed traffic violated the oracle: %v", out.Violations)
+	}
+}
+
 func TestTrafficSpecValidation(t *testing.T) {
 	cases := map[string]func(*Spec){
-		"missing traffic block": func(sp *Spec) { sp.Traffic = nil },
-		"zero payments":         func(sp *Spec) { sp.Traffic.Payments = 0 },
-		"zero rate":             func(sp *Spec) { sp.Traffic.Rate = 0 },
-		"negative liquidity":    func(sp *Spec) { sp.Traffic.Liquidity = -1 },
-		"bad fraction":          func(sp *Spec) { sp.Traffic.FaultFraction = 1.5 },
-		"bad behaviour":         func(sp *Spec) { sp.Traffic.FaultBehaviours = []string{"nope"} },
-		"traffic on timelock":   func(sp *Spec) { sp.Family = FamTimelock },
+		"missing traffic block":   func(sp *Spec) { sp.Traffic = nil },
+		"zero payments":           func(sp *Spec) { sp.Traffic.Payments = 0 },
+		"zero rate":               func(sp *Spec) { sp.Traffic.Rate = 0 },
+		"negative liquidity":      func(sp *Spec) { sp.Traffic.Liquidity = -1 },
+		"bad fraction":            func(sp *Spec) { sp.Traffic.FaultFraction = 1.5 },
+		"bad behaviour":           func(sp *Spec) { sp.Traffic.FaultBehaviours = []string{"nope"} },
+		"traffic on timelock":     func(sp *Spec) { sp.Family = FamTimelock },
+		"negative checkpointAt":   func(sp *Spec) { sp.Traffic.CheckpointAt = -1 },
+		"checkpointAt ≥ payments": func(sp *Spec) { sp.Traffic.CheckpointAt = sp.Traffic.Payments },
 	}
 	for name, mutate := range cases {
 		sp := trafficSpec()

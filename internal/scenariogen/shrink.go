@@ -211,8 +211,16 @@ func candidates(sp Spec) []Spec {
 		for _, p := range []int{1, t.Payments / 10, t.Payments / 2} {
 			if p >= 1 && p < t.Payments {
 				p := p
-				add(func(c *Spec) { c.Traffic.Payments = p })
+				add(func(c *Spec) {
+					c.Traffic.Payments = p
+					if c.Traffic.CheckpointAt >= p {
+						c.Traffic.CheckpointAt = 0
+					}
+				})
 			}
+		}
+		if t.CheckpointAt > 0 {
+			add(func(c *Spec) { c.Traffic.CheckpointAt = 0 })
 		}
 		if t.FaultFraction > 0 {
 			add(func(c *Spec) {

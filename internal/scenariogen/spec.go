@@ -147,6 +147,11 @@ type TrafficSpec struct {
 	FaultFrom       sim.Time `json:"faultFrom,omitempty"`
 	FaultOutage     sim.Time `json:"faultOutage,omitempty"`
 	ManagerOutage   sim.Time `json:"managerOutage,omitempty"`
+	// CheckpointAt, when in [1, Payments-1], makes the oracle additionally
+	// interrupt the run at that payment, checkpoint it, resume the snapshot
+	// and demand the resumed Result be byte-identical to the uninterrupted
+	// one (the checkpoint arm of the determinism contract). 0 disables.
+	CheckpointAt int `json:"checkpointAt,omitempty"`
 }
 
 // plan translates the traffic spec's fault fields to a traffic.FaultPlan.
@@ -250,6 +255,9 @@ func (sp Spec) Validate() error {
 		}
 		if ts.Liquidity < 0 || ts.QueuePatience < 0 {
 			return fmt.Errorf("scenariogen: negative traffic liquidity or queue patience")
+		}
+		if ts.CheckpointAt < 0 || ts.CheckpointAt >= ts.Payments {
+			return fmt.Errorf("scenariogen: traffic checkpointAt %d outside [0, payments)", ts.CheckpointAt)
 		}
 		if err := ts.plan().Validate(core.NewTopology(sp.N)); err != nil {
 			return fmt.Errorf("scenariogen: %w", err)
@@ -629,6 +637,9 @@ func (sp Spec) Describe() string {
 		}
 		if ts.ManagerOutage > 0 {
 			fmt.Fprintf(&b, " mgr-outage=%v", ts.ManagerOutage)
+		}
+		if ts.CheckpointAt > 0 {
+			fmt.Fprintf(&b, " ckpt@%d", ts.CheckpointAt)
 		}
 	}
 	return b.String()

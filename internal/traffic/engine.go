@@ -66,6 +66,30 @@ type Config struct {
 	// scenario's registry). Observation only: the Result is byte-identical
 	// with or without it — TestMetricsResultEquivalence enforces this.
 	Metrics *metrics.Registry
+
+	// CheckpointEvery, when > 0, writes a resumable snapshot to
+	// CheckpointPath after every CheckpointEvery-th admitted payment
+	// (atomically: temp file + rename, so a crash mid-write keeps the
+	// previous snapshot). Like Resume, InterruptAt and Control it forces the
+	// single-timeline path; none of them changes what the run computes.
+	CheckpointEvery int
+	// CheckpointPath is the snapshot file. Required when CheckpointEvery is
+	// set; also used for the final snapshot written when the run is
+	// interrupted.
+	CheckpointPath string
+	// Resume, when non-nil, resumes the run from the snapshot instead of
+	// starting at payment 0. The snapshot's configuration fingerprint must
+	// match this run's (scenario, workload, mode) exactly — RunWith returns
+	// a *ConfigMismatchError otherwise. The resumed run's Result is
+	// byte-identical to an uninterrupted run (TestCheckpointEquivalence).
+	Resume *RunSnapshot
+	// InterruptAt, when > 0, stops the run just before admitting payment
+	// InterruptAt (writing a snapshot when CheckpointPath is set) and makes
+	// RunWith return ErrInterrupted. A deterministic test/oracle hook.
+	InterruptAt int
+	// Control, when non-nil, lets another goroutine interrupt the run at
+	// its next arrival boundary (graceful shutdown in xchain-serve).
+	Control *Control
 }
 
 // workers resolves the worker count.
@@ -78,6 +102,14 @@ func (c Config) workers() int {
 
 // keep reports whether per-payment records are retained.
 func (c Config) keep() bool { return !c.Stream || c.KeepPayments }
+
+// checkpointing reports whether any checkpoint/resume/interrupt knob is in
+// use; such runs execute on the single-timeline path (shardCount forces 1),
+// since a snapshot describes one timeline.
+func (c Config) checkpointing() bool {
+	return c.CheckpointEvery > 0 || c.CheckpointPath != "" || c.Resume != nil ||
+		c.InterruptAt > 0 || c.Control != nil
+}
 
 // DefaultProtocols returns the built-in protocol registry for workload
 // mixes. Each instance is stateless across runs and safe to share between
@@ -278,25 +310,62 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 		res.Payments = make([]PaymentResult, w.Payments)
 	}
 
+	// Checkpoint/resume wiring: fingerprint the run, reject a foreign
+	// snapshot, and build the boundary driver.
+	if cfg.CheckpointEvery < 0 || cfg.InterruptAt < 0 {
+		return nil, fmt.Errorf("traffic: negative CheckpointEvery or InterruptAt")
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("traffic: CheckpointEvery requires CheckpointPath")
+	}
+	var ck *checkpointer
+	resume := cfg.Resume
+	skip := 0
+	if cfg.checkpointing() {
+		hash, doc, err := fingerprintOf(s, w, cfg).canonical()
+		if err != nil {
+			return nil, err
+		}
+		if resume != nil {
+			if resume.ConfigHash != hash {
+				return nil, &ConfigMismatchError{SnapshotHash: resume.ConfigHash, RunHash: hash, Config: resume.Config}
+			}
+			if resume.NextIndex < 0 || resume.NextIndex > w.Payments {
+				return nil, fmt.Errorf("traffic: snapshot resumes at payment %d of %d", resume.NextIndex, w.Payments)
+			}
+			skip = resume.NextIndex
+		}
+		ck = &checkpointer{
+			every:       cfg.CheckpointEvery,
+			path:        cfg.CheckpointPath,
+			hash:        hash,
+			config:      doc,
+			interruptAt: cfg.InterruptAt,
+			ctl:         cfg.Control,
+			total:       w.Payments,
+		}
+	}
+
 	S := cfg.shardCount(s, w)
 	var demand map[string]map[string]int64
 	var demandByShard []map[string]map[string]int64
 	var src paymentSource
 	if cfg.Stream {
-		if w.Liquidity <= 0 {
+		if w.Liquidity <= 0 && resume == nil {
 			// Auto-sizing needs the whole population's worst-case demand; a
 			// dedicated generator pass computes it in O(topology) memory.
+			// Resumed runs restore the already-endowed book instead.
 			if S > 1 {
 				demandByShard = w.demandShards(s, S)
 			} else {
 				demand = w.demand(s)
 			}
 		}
-		src = newStreamSource(s, w, plan, registry, cfg.workers(), rm)
+		src = newStreamSource(s, w, plan, registry, cfg.workers(), rm, skip)
 	} else {
-		payments := w.generate(s)
+		payments := w.generate(s)[skip:]
 		rm.Generated.Add(uint64(len(payments)))
-		if w.Liquidity <= 0 {
+		if w.Liquidity <= 0 && resume == nil {
 			if S > 1 {
 				demandByShard = demandOfShards(payments, S)
 			} else {
@@ -306,6 +375,11 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 		subs := simulatePayments(s, plan, payments, registry, cfg.workers(), rm)
 		src = &sliceSource{pays: payments, subs: subs}
 	}
+	if ss, ok := src.(*streamSource); ok {
+		// An interrupted run leaves the pipeline mid-stream; closing it
+		// releases the producer and worker goroutines.
+		defer ss.close()
+	}
 
 	exemplars := 0
 	if !cfg.keep() {
@@ -314,8 +388,18 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 	if S > 1 {
 		executeShardedTimeline(res, s, w, plan, src, demandByShard, cfg.keep(), exemplars, s.Metrics, rm, S)
 	} else {
-		res.Book = newLiquidityBook(s, w, demand)
-		executeTimeline(res, src, w, plan, cfg.keep(), exemplars, s.Metrics, rm)
+		if resume != nil {
+			book, err := restoreBook(s, resume)
+			if err != nil {
+				return nil, err
+			}
+			res.Book = book
+		} else {
+			res.Book = newLiquidityBook(s, w, demand)
+		}
+		if err := executeTimeline(res, src, w, plan, cfg.keep(), exemplars, s.Metrics, rm, ck, resume); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
@@ -324,8 +408,13 @@ func RunWith(s core.Scenario, w Workload, cfg Config) (*Result, error) {
 // finalises every aggregate of res. The timeline's engine is the run's
 // authoritative virtual clock, so it (and only it) carries the virtual-time
 // watermark gauge.
-func executeTimeline(res *Result, src paymentSource, w Workload, plan *compiledPlan, keep bool, exemplars int, reg *metrics.Registry, rm RunMetrics) {
-	agg := newAggregator(res, keep, exemplars)
+func executeTimeline(res *Result, src paymentSource, w Workload, plan *compiledPlan, keep bool, exemplars int, reg *metrics.Registry, rm RunMetrics, ck *checkpointer, snap *RunSnapshot) error {
+	var agg *aggregator
+	if snap != nil {
+		agg = restoredAggregator(res, keep, exemplars, &snap.Agg)
+	} else {
+		agg = newAggregator(res, keep, exemplars)
+	}
 	agg.m = rm
 	tl := &timeline{
 		eng:  sim.NewEngine(res.Seed),
@@ -336,13 +425,24 @@ func executeTimeline(res *Result, src paymentSource, w Workload, plan *compiledP
 		book: res.Book,
 		m:    rm,
 	}
+	if ck != nil || snap != nil {
+		tl.track = make(map[int]*flight)
+	}
 	em := sim.MetricsFrom(reg)
 	if reg != nil {
 		em.Watermark = reg.Gauge(sim.MetricVirtualTimeMs, "Virtual time of the traffic admission timeline in milliseconds.")
 	}
 	tl.eng.SetMetrics(em)
-	tl.scheduleMarks()
-	tl.run(src)
+	if snap != nil {
+		if err := tl.restore(snap, keep); err != nil {
+			return err
+		}
+	} else {
+		tl.scheduleMarks()
+	}
+	if err := tl.run(src, ck); err != nil {
+		return err
+	}
 	res.TimelineEvents = tl.fired
 	// Refund-cascade accounting: every unit the timeline ever locked must
 	// have been released or refunded exactly once by the end of the run.
@@ -350,6 +450,7 @@ func executeTimeline(res *Result, src paymentSource, w Workload, plan *compiledP
 		res.CascadeErr = fmt.Errorf("traffic: %d units still locked after the last settlement", tl.lockedNow)
 	}
 	agg.finalize(res)
+	return nil
 }
 
 // paymentSource yields the payment population in arrival (= index) order,
@@ -399,14 +500,23 @@ type streamSource struct {
 	cur     *chunk
 	i       int
 	m       RunMetrics
+
+	// stop releases the producer when the consumer abandons the pipeline
+	// mid-stream (an interrupted run); close is idempotent.
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
-func newStreamSource(s core.Scenario, w Workload, plan *compiledPlan, registry map[string]core.Protocol, workers int, rm RunMetrics) *streamSource {
+func newStreamSource(s core.Scenario, w Workload, plan *compiledPlan, registry map[string]core.Protocol, workers int, rm RunMetrics, skip int) *streamSource {
 	depth := workers + 2
 	ordered := make(chan *chunk, depth)
 	work := make(chan *chunk, depth)
+	stop := make(chan struct{})
 	go func() {
+		defer close(ordered)
+		defer close(work)
 		g := w.newGenerator(s)
+		g.skip(skip)
 		for {
 			c := &chunk{done: make(chan struct{})}
 			for len(c.pays) < chunkSize {
@@ -422,11 +532,17 @@ func newStreamSource(s core.Scenario, w Workload, plan *compiledPlan, registry m
 			c.subs = make([]subOutcome, len(c.pays))
 			rm.Generated.Add(uint64(len(c.pays)))
 			rm.ChunksGenerated.Inc()
-			work <- c
-			ordered <- c
+			select {
+			case work <- c:
+			case <-stop:
+				return
+			}
+			select {
+			case ordered <- c:
+			case <-stop:
+				return
+			}
 		}
-		close(work)
-		close(ordered)
 	}()
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -440,7 +556,13 @@ func newStreamSource(s core.Scenario, w Workload, plan *compiledPlan, registry m
 			}
 		}()
 	}
-	return &streamSource{ordered: ordered, m: rm}
+	return &streamSource{ordered: ordered, m: rm, stop: stop}
+}
+
+// close releases the pipeline's producer goroutine. Harmless after normal
+// exhaustion; required when an interrupted run abandons the stream early.
+func (s *streamSource) close() {
+	s.stopOnce.Do(func() { close(s.stop) })
 }
 
 func (s *streamSource) next() (*payment, subOutcome, bool) {
@@ -514,18 +636,7 @@ func newLiquidityBook(s core.Scenario, w Workload, demand map[string]map[string]
 	for i := 0; i < s.Topology.N; i++ {
 		l := ledger.New(core.EscrowID(i))
 		l.SetCompact(true)
-		if s.Metrics != nil {
-			// Traffic ledgers are only touched by the timeline goroutine, so
-			// the per-ledger liquidity gauges stay consistent.
-			m := lm
-			m.Available = s.Metrics.Gauge(ledger.MetricLiquidityAvailable,
-				"Available (unescrowed) traffic liquidity.", "ledger", l.Name())
-			m.Escrowed = s.Metrics.Gauge(ledger.MetricLiquidityEscrowed,
-				"Traffic liquidity held in pending locks.", "ledger", l.Name())
-			m.ByzantineEscrowed = s.Metrics.Gauge(ledger.MetricLiquidityByzantine,
-				"Traffic liquidity held in locks owned by Byzantine parties.", "ledger", l.Name())
-			l.SetMetrics(m)
-		}
+		wireLiquidityGauges(s, lm, l)
 		for _, owner := range []string{core.CustomerID(i), core.CustomerID(i + 1)} {
 			endow := w.Liquidity
 			if w.Liquidity <= 0 {
@@ -540,6 +651,27 @@ func newLiquidityBook(s core.Scenario, w Workload, demand map[string]map[string]
 		book.Add(l)
 	}
 	return book
+}
+
+// wireLiquidityGauges attaches the per-ledger liquidity gauges (traffic
+// ledgers are only touched by the timeline goroutine, so the gauges stay
+// consistent) and syncs them to the ledger's current totals — zero for a
+// fresh ledger, the restored split for a checkpoint-restored one.
+func wireLiquidityGauges(s core.Scenario, lm ledger.Metrics, l *ledger.Ledger) {
+	if s.Metrics == nil {
+		return
+	}
+	m := lm
+	m.Available = s.Metrics.Gauge(ledger.MetricLiquidityAvailable,
+		"Available (unescrowed) traffic liquidity.", "ledger", l.Name())
+	m.Escrowed = s.Metrics.Gauge(ledger.MetricLiquidityEscrowed,
+		"Traffic liquidity held in pending locks.", "ledger", l.Name())
+	m.ByzantineEscrowed = s.Metrics.Gauge(ledger.MetricLiquidityByzantine,
+		"Traffic liquidity held in locks owned by Byzantine parties.", "ledger", l.Name())
+	l.SetMetrics(m)
+	m.Available.Set(float64(l.AccountsTotal()))
+	m.Escrowed.Set(float64(l.EscrowedTotal()))
+	m.ByzantineEscrowed.Set(float64(l.ByzantineEscrowed()))
 }
 
 // flight is the per-payment runtime state the timeline tracks between
@@ -561,6 +693,9 @@ type flight struct {
 	prev, next *flight
 	inQueue    bool
 	expiry     sim.Timer
+	// settle is the pending settlement event while the payment is in
+	// flight; capture reads its heap coordinates.
+	settle sim.Timer
 }
 
 // timeline replays arrivals, admission, queuing and settlement on a
@@ -591,6 +726,20 @@ type timeline struct {
 	// Byzantine-liquidity sweep after each admission/settlement.
 	byzConn    int
 	byzLedgers []*ledger.Ledger
+
+	// track maps payment index -> live flight; populated only when the run
+	// can checkpoint (capture needs every queued and in-flight payment).
+	track map[int]*flight
+	// markTimers retains the pending Byzantine-mark events so capture can
+	// read their heap coordinates.
+	markTimers []markTimer
+}
+
+// markTimer pairs a scheduled Byzantine-status transition with its timer.
+type markTimer struct {
+	index int
+	on    bool
+	tm    sim.Timer
 }
 
 // scheduleMarks replays the plan's Byzantine-status transitions on the
@@ -610,9 +759,10 @@ func (t *timeline) scheduleMarks() {
 			continue
 		}
 		mk := mk
-		t.eng.ScheduleIn(mk.at, fmt.Sprintf("byz-%v:c%d", mk.on, mk.index), func() {
+		tm := t.eng.ScheduleIn(mk.at, fmt.Sprintf("byz-%v:c%d", mk.on, mk.index), func() {
 			t.setByzantine(mk.index, mk.on)
 		})
+		t.markTimers = append(t.markTimers, markTimer{index: mk.index, on: mk.on, tm: tm})
 	}
 }
 
@@ -656,7 +806,7 @@ func (t *timeline) observeByzHeld() {
 // order a run scheduling all arrivals up front (with the lowest sequence
 // numbers) would produce, without ever holding more than the in-flight
 // window in memory.
-func (t *timeline) run(src paymentSource) {
+func (t *timeline) run(src paymentSource, ck *checkpointer) error {
 	for {
 		p, sub, ok := src.next()
 		if !ok {
@@ -666,15 +816,24 @@ func (t *timeline) run(src paymentSource) {
 		t.fired += fired
 		t.arrive(p, sub)
 		t.fired++ // the arrival itself, an event in the materialised sense
+		if ck != nil {
+			if err := ck.boundary(t, p.Index+1); err != nil {
+				return err
+			}
+		}
 	}
 	_, fired := t.eng.Run(0)
 	t.fired += fired
+	return nil
 }
 
 // arrive admits, queues or rejects one payment at its arrival instant.
 func (t *timeline) arrive(p *payment, sub subOutcome) {
 	now := t.eng.Now()
 	f := &flight{p: p, sub: sub}
+	if t.track != nil {
+		t.track[p.Index] = f
+	}
 	f.pr = PaymentResult{
 		ID:       p.ID,
 		Sender:   p.Sender,
@@ -710,16 +869,24 @@ func (t *timeline) arrive(p *payment, sub subOutcome) {
 		t.finish(f)
 		return
 	}
-	f.expiry = t.eng.ScheduleIn(t.w.QueuePatience, "expire:"+p.ID, func() {
+	f.expiry = t.eng.ScheduleIn(t.w.QueuePatience, "expire:"+p.ID, t.expireAction(f))
+	t.enqueue(f)
+}
+
+// expireAction builds the queue-expiry callback of f: the payment's patience
+// ran out before capacity freed up. A named constructor (not an inline
+// closure) so resume can re-attach an identical callback to a restored
+// event.
+func (t *timeline) expireAction(f *flight) func() {
+	return func() {
 		t.unlink(f)
 		f.pr.Status = StatusDropped
 		f.pr.End = t.eng.Now()
 		f.pr.Queued = true
-		f.pr.QueueWait = f.pr.End - p.Arrival
+		f.pr.QueueWait = f.pr.End - f.p.Arrival
 		f.pr.DropCause = t.dropCause(f)
 		t.finish(f)
-	})
-	t.enqueue(f)
+	}
 }
 
 // dropCause attributes a queue-expiry drop: "faulted-path" when the
@@ -787,7 +954,16 @@ func (t *timeline) start(f *flight, now sim.Time) {
 	if t.inFlight > t.res.PeakInFlight {
 		t.res.PeakInFlight = t.inFlight
 	}
-	t.eng.ScheduleIn(f.sub.duration, "settle:"+f.p.ID, func() {
+	f.settle = t.eng.ScheduleIn(f.sub.duration, "settle:"+f.p.ID, t.settleAction(f))
+}
+
+// settleAction builds the settlement callback of f: classify the outcome at
+// the virtual time the payment's own protocol run finished, release or
+// refund every hop's lock, and retry the queue. A named constructor (not an
+// inline closure) so resume can re-attach an identical callback to a
+// restored event.
+func (t *timeline) settleAction(f *flight) func() {
+	return func() {
 		end := t.eng.Now()
 		f.pr.End = end
 		switch {
@@ -815,7 +991,7 @@ func (t *timeline) start(f *flight, now sim.Time) {
 		t.m.InFlight.Set(float64(t.inFlight))
 		t.finish(f)
 		t.drainQueue(end)
-	})
+	}
 }
 
 // enqueue appends f to the admission queue.
@@ -873,6 +1049,9 @@ func (t *timeline) drainQueue(now sim.Time) {
 // finish hands a terminal payment record to the aggregator and, when
 // per-payment retention is on, to its slot in res.Payments.
 func (t *timeline) finish(f *flight) {
+	if t.track != nil {
+		delete(t.track, f.p.Index)
+	}
 	t.agg.observe(t.res, &f.pr)
 	if t.res.Payments != nil {
 		t.res.Payments[f.p.Index] = f.pr

@@ -50,8 +50,9 @@ const maxShards = 64
 // shardCount resolves the effective shard count for a run: Config.Shards,
 // then Scenario.Shards, then one shard per GOMAXPROCS. Liquidity-bounded
 // workloads force a single timeline (their payments couple through the
-// global admission queue), and the count is clamped to the population size
-// and maxShards.
+// global admission queue), checkpointing runs do too (a snapshot describes
+// one timeline), and the count is clamped to the population size and
+// maxShards.
 func (c Config) shardCount(s core.Scenario, w Workload) int {
 	n := c.Shards
 	if n == 0 {
@@ -60,7 +61,7 @@ func (c Config) shardCount(s core.Scenario, w Workload) int {
 	if n == 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	if n < 1 || w.Liquidity > 0 {
+	if n < 1 || w.Liquidity > 0 || c.checkpointing() {
 		return 1
 	}
 	if n > w.Payments {

@@ -176,7 +176,9 @@ func TestQueuedReadmissionAfterPartialRollback(t *testing.T) {
 		Payments: make([]PaymentResult, 2),
 		Book:     newLiquidityBook(s, w, nil),
 	}
-	executeTimeline(res, &sliceSource{pays: payments, subs: subs}, w, nil, true, 0, nil, RunMetrics{})
+	if err := executeTimeline(res, &sliceSource{pays: payments, subs: subs}, w, nil, true, 0, nil, RunMetrics{}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
 
 	a := res.Payments[1]
 	if a.Status != StatusOK {

@@ -300,6 +300,23 @@ func (w Workload) newGenerator(s core.Scenario) *generator {
 	}
 }
 
+// skip advances the generator past the first n payments without retaining
+// them. RNG consumption is identical to generating them (only the ID
+// formatting — which never draws — is suppressed), so the generator lands
+// exactly where an uninterrupted run would be: checkpoint resume re-derives
+// the generator's position instead of serialising RNG internals.
+func (g *generator) skip(n int) {
+	if n <= 0 {
+		return
+	}
+	ids := g.withIDs
+	g.withIDs = false
+	var p payment
+	for i := 0; i < n && g.next(&p); i++ {
+	}
+	g.withIDs = ids
+}
+
 // next fills p with the next payment of the population, reusing p's Amounts
 // capacity, and reports whether one was produced.
 func (g *generator) next(p *payment) bool {

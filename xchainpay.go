@@ -119,6 +119,18 @@ type (
 	// TrafficDropCause attributes a queue-expiry drop to the attacker
 	// (faulted path) or to plain capacity starvation.
 	TrafficDropCause = traffic.DropCause
+	// TrafficSnapshot is a restartable mid-run checkpoint of a traffic run:
+	// admission position, in-flight payments, ledger books, aggregate state.
+	// Produce one via TrafficConfig.CheckpointEvery/CheckpointPath, reload it
+	// with LoadTrafficSnapshot, and resume via TrafficConfig.Resume.
+	TrafficSnapshot = traffic.RunSnapshot
+	// TrafficControl requests cooperative interruption of a traffic run;
+	// the run stops at the next payment boundary (writing a final
+	// checkpoint if configured) and returns ErrTrafficInterrupted.
+	TrafficControl = traffic.Control
+	// TrafficConfigMismatchError reports a resume attempt whose scenario or
+	// workload differs from the one the snapshot was taken under.
+	TrafficConfigMismatchError = traffic.ConfigMismatchError
 	// Histogram is the streaming log-bucketed histogram used by traffic
 	// runs that drop per-payment records: exact mean/min/max/sum, and
 	// percentile estimates within 1% relative error in constant memory.
@@ -168,6 +180,18 @@ const (
 // DefaultTrafficFaultBehaviours returns the adversary behaviours a
 // TrafficFaultPlan draws from when none are configured.
 func DefaultTrafficFaultBehaviours() []string { return traffic.DefaultFaultBehaviours() }
+
+// ErrTrafficInterrupted is returned by RunTrafficWith when a run stops early
+// because its TrafficControl was tripped or TrafficConfig.InterruptAt was
+// reached; the final checkpoint (if configured) has been written.
+var ErrTrafficInterrupted = traffic.ErrInterrupted
+
+// LoadTrafficSnapshot reads and validates a traffic checkpoint file written
+// by a run configured with TrafficConfig.CheckpointPath. Corrupt, truncated
+// or wrong-version files are rejected, never half-loaded.
+func LoadTrafficSnapshot(path string) (*TrafficSnapshot, error) {
+	return traffic.LoadSnapshot(path)
+}
 
 // Time units, re-exported for scenario construction.
 const (
